@@ -1,0 +1,115 @@
+package cyclops
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAblationDirectGPrime(t *testing.T) {
+	r, err := AblationDirectGPrime(31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TrainSamples < 200 {
+		t.Fatalf("only %d training samples", r.TrainSamples)
+	}
+	// The footnote-3 claim: the direct fit that looks fine on its
+	// training plane falls apart in depth, while the model-based
+	// approach holds millimeter accuracy.
+	if r.OffPlaneErrorMM < 3*r.SamePlaneErrorMM && r.OffPlaneErrorMM < 10 {
+		t.Errorf("direct fit generalized too well: plane %.1f mm, depth %.1f mm",
+			r.SamePlaneErrorMM, r.OffPlaneErrorMM)
+	}
+	if r.ModelBasedOffPlaneErrorMM > 5 {
+		t.Errorf("model-based depth error %.1f mm — should stay mm-scale", r.ModelBasedOffPlaneErrorMM)
+	}
+	if r.OffPlaneErrorMM < 2*r.ModelBasedOffPlaneErrorMM {
+		t.Errorf("direct %.1f mm not ≫ model-based %.1f mm",
+			r.OffPlaneErrorMM, r.ModelBasedOffPlaneErrorMM)
+	}
+	t.Log("\n" + r.Render())
+}
+
+func TestAblationFixedOrigin(t *testing.T) {
+	r, err := AblationFixedOrigin(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Footnote 6: ignoring the origin's voltage dependence (distortion)
+	// costs accuracy.
+	if r.FixedAvgMM <= r.FullAvgMM {
+		t.Errorf("fixed-origin model (%.2f mm) not worse than full (%.2f mm)",
+			r.FixedAvgMM, r.FullAvgMM)
+	}
+	if r.FullAvgMM > 3 {
+		t.Errorf("full model error %.2f mm out of regime", r.FullAvgMM)
+	}
+	t.Log("\n" + r.Render())
+}
+
+func TestAblationTrackingRate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus sweep in -short mode")
+	}
+	points := AblationTrackingRate(33, []time.Duration{
+		2 * time.Millisecond, 5 * time.Millisecond, 10 * time.Millisecond, 20 * time.Millisecond,
+	})
+	if len(points) != 4 {
+		t.Fatalf("got %d points", len(points))
+	}
+	// §6: higher tracking frequency improves availability monotonically.
+	for i := 1; i < len(points); i++ {
+		if points[i].MeanOnFraction > points[i-1].MeanOnFraction+1e-9 {
+			t.Errorf("availability not monotone in tracking rate: %v", points)
+			break
+		}
+	}
+	if points[0].MeanOnFraction < 0.995 {
+		t.Errorf("2 ms tracker availability %.4f — should be near perfect", points[0].MeanOnFraction)
+	}
+	if out := RenderTrackingRate(points); !strings.Contains(out, "operational") {
+		t.Error("render missing content")
+	}
+	t.Log("\n" + RenderTrackingRate(points))
+}
+
+func TestAblationBeamChoice(t *testing.T) {
+	if testing.Short() {
+		t.Skip("motion runs in -short mode")
+	}
+	r, err := AblationBeamChoice(34)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §5.1: under realistic motion the diverging design stays up far
+	// more than the collimated one despite 25 dB less peak power.
+	if r.DivergingUpFraction < r.CollimatedUpFraction {
+		t.Errorf("diverging (%.2f) not better than collimated (%.2f)",
+			r.DivergingUpFraction, r.CollimatedUpFraction)
+	}
+	if r.DivergingUpFraction < 0.9 {
+		t.Errorf("diverging up fraction %.2f too low for gentle motion", r.DivergingUpFraction)
+	}
+	t.Log("\n" + r.Render())
+}
+
+func TestAblationCouplingImprovement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("rotation sweeps in -short mode")
+	}
+	r, err := AblationCouplingImprovement(35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The §5.3 claim: more link budget directly buys faster tolerated
+	// motion (the tolerance scales with √margin).
+	if r.ImprovedAngular <= r.BaselineAngular {
+		t.Errorf("+10 dB coupling did not raise the angular threshold: %.2f vs %.2f rad/s",
+			r.ImprovedAngular, r.BaselineAngular)
+	}
+	if r.ImprovedAngular < 1.2*r.BaselineAngular {
+		t.Errorf("improvement too small: %.2f vs %.2f rad/s", r.ImprovedAngular, r.BaselineAngular)
+	}
+	t.Log("\n" + r.Render())
+}

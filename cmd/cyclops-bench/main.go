@@ -1,0 +1,174 @@
+// Command cyclops-bench regenerates the tables and figures of the paper's
+// evaluation section.
+//
+// Usage:
+//
+//	cyclops-bench -experiment all
+//	cyclops-bench -experiment table1
+//	cyclops-bench -experiment fig13 -seed 7
+//
+// Experiments: fig3, table1, fig11, table2, tp, fig13, fig14, fig15,
+// table3, fig16, convergence, ablations, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"cyclops"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "which experiment to run (fig3|table1|fig11|table2|tp|fig13|fig14|fig15|table3|fig16|convergence|ablations|extensions|all)")
+	seed := flag.Int64("seed", 1, "seed for all hidden variation")
+	flag.Parse()
+
+	runners := map[string]func(int64) error{
+		"fig3": func(s int64) error {
+			fmt.Print(cyclops.Fig3(s, 25).Render())
+			return nil
+		},
+		"table1": func(int64) error {
+			fmt.Print(cyclops.Table1().Render())
+			return nil
+		},
+		"fig11": func(int64) error {
+			fmt.Print(cyclops.Fig11().Render())
+			return nil
+		},
+		"table2": func(s int64) error {
+			r, err := cyclops.Table2(s)
+			if err != nil {
+				return err
+			}
+			fmt.Print(r.Render())
+			return nil
+		},
+		"tp": func(s int64) error {
+			r, err := cyclops.TPEvaluation(s)
+			if err != nil {
+				return err
+			}
+			fmt.Print(r.Render())
+			return nil
+		},
+		"fig13": func(s int64) error {
+			lin, ang, err := cyclops.Fig13(s)
+			if err != nil {
+				return err
+			}
+			fmt.Print(lin.Render(), ang.Render())
+			return nil
+		},
+		"fig14": func(s int64) error {
+			m, err := cyclops.Fig14(s)
+			if err != nil {
+				return err
+			}
+			fmt.Print(m.Render())
+			return nil
+		},
+		"fig15": func(s int64) error {
+			lin, ang, mix, err := cyclops.Fig15(s)
+			if err != nil {
+				return err
+			}
+			fmt.Print(lin.Render(), ang.Render(), mix.Render())
+			return nil
+		},
+		"table3": func(s int64) error {
+			r, err := cyclops.Table3(s)
+			if err != nil {
+				return err
+			}
+			fmt.Print(r.Render())
+			return nil
+		},
+		"fig16": func(s int64) error {
+			fmt.Print(cyclops.Fig16(s).Render())
+			return nil
+		},
+		"convergence": func(s int64) error {
+			r, err := cyclops.Convergence(s)
+			if err != nil {
+				return err
+			}
+			fmt.Print(r.Render())
+			return nil
+		},
+		"extensions": func(s int64) error {
+			h, err := cyclops.ExtensionHandover(s)
+			if err != nil {
+				return err
+			}
+			fmt.Print(h.Render())
+			bm, err := cyclops.BaselineMmWave(s + 1)
+			if err != nil {
+				return err
+			}
+			fmt.Print(bm.Render())
+			fmt.Print(cyclops.EyeSafetyTable())
+			fmt.Print(cyclops.FutureWork40G())
+			return nil
+		},
+		"ablations": func(s int64) error {
+			dg, err := cyclops.AblationDirectGPrime(s)
+			if err != nil {
+				return err
+			}
+			fmt.Print(dg.Render())
+			fo, err := cyclops.AblationFixedOrigin(s + 1)
+			if err != nil {
+				return err
+			}
+			fmt.Print(fo.Render())
+			fmt.Print(cyclops.RenderTrackingRate(cyclops.AblationTrackingRate(s+2, []time.Duration{
+				2 * time.Millisecond, 5 * time.Millisecond,
+				10 * time.Millisecond, 20 * time.Millisecond,
+			})))
+			bc, err := cyclops.AblationBeamChoice(s + 3)
+			if err != nil {
+				return err
+			}
+			fmt.Print(bc.Render())
+			cp, err := cyclops.AblationCouplingImprovement(s + 4)
+			if err != nil {
+				return err
+			}
+			fmt.Print(cp.Render())
+			return nil
+		},
+	}
+	order := []string{
+		"fig3", "table1", "fig11", "table2", "tp",
+		"fig13", "fig14", "fig15", "table3", "fig16",
+		"convergence", "ablations", "extensions",
+	}
+
+	which := strings.ToLower(*experiment)
+	if which == "all" {
+		for _, name := range order {
+			fmt.Printf("==== %s ====\n", name)
+			start := time.Now()
+			if err := runners[name](*seed); err != nil {
+				fmt.Fprintf(os.Stderr, "cyclops-bench: %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
+		}
+		return
+	}
+	run, ok := runners[which]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "cyclops-bench: unknown experiment %q (want %s or all)\n",
+			which, strings.Join(order, "|"))
+		os.Exit(2)
+	}
+	if err := run(*seed); err != nil {
+		fmt.Fprintf(os.Stderr, "cyclops-bench: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,111 @@
+// Command cyclops-sim runs the full Cyclops system on a chosen motion
+// program and prints the resulting power/throughput time series plus a run
+// summary — the interactive way to poke at the simulated prototype.
+//
+// Usage:
+//
+//	cyclops-sim -link 10g -motion linear -speed 0.3
+//	cyclops-sim -link 25g -motion handheld -duration 30s -oracle
+//	cyclops-sim -motion trace -seed 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"cyclops"
+)
+
+func main() {
+	linkName := flag.String("link", "10g", "link design: 10g | 10g-collimated | 25g")
+	motionName := flag.String("motion", "linear", "motion program: static | linear | angular | handheld | trace")
+	speed := flag.Float64("speed", 0.25, "peak speed for linear (m/s) or angular (rad/s) programs")
+	duration := flag.Duration("duration", 0, "cap the run duration (0 = program length)")
+	seed := flag.Int64("seed", 1, "seed for all hidden variation")
+	oracle := flag.Bool("oracle", false, "use oracle models instead of running the calibration")
+	series := flag.Bool("series", false, "print the 50 ms throughput/power series")
+	flag.Parse()
+
+	var cfg cyclops.LinkConfig
+	switch *linkName {
+	case "10g":
+		cfg = cyclops.Link10G
+	case "10g-collimated":
+		cfg = cyclops.Link10GCollimated
+	case "25g":
+		cfg = cyclops.Link25G
+	default:
+		fmt.Fprintf(os.Stderr, "cyclops-sim: unknown link %q\n", *linkName)
+		os.Exit(2)
+	}
+
+	var prog cyclops.Program
+	switch *motionName {
+	case "static":
+		prog = cyclops.LinearRail(0, 0.01, 0, 1)
+	case "linear":
+		prog = cyclops.LinearRail(0.20, *speed, 0, 6)
+	case "angular":
+		prog = cyclops.RotationStage(0.30, *speed, 0, 6)
+	case "handheld":
+		prog = cyclops.HandHeld(0.4, 0.6, 30*time.Second, *seed)
+	case "trace":
+		prog = cyclops.Playback(cyclops.GenerateTrace(*seed, 0, time.Minute))
+	default:
+		fmt.Fprintf(os.Stderr, "cyclops-sim: unknown motion %q\n", *motionName)
+		os.Exit(2)
+	}
+
+	sys := cyclops.NewSystem(cfg, *seed)
+	if *oracle {
+		sys.UseOracleModels()
+		fmt.Println("using oracle models (perfect TP)")
+	} else {
+		fmt.Println("calibrating (grid board + aligned tuples)...")
+		rep, err := sys.Calibrate()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cyclops-sim: calibration: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("calibrated: %v\n", rep)
+	}
+
+	res, err := sys.Run(cyclops.RunOptions{
+		Program:     prog,
+		Duration:    *duration,
+		SampleEvery: 10 * time.Millisecond,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cyclops-sim: run: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *series {
+		fmt.Println("t(ms)  goodput(Gbps)")
+		for _, w := range res.Windows {
+			fmt.Printf("%6d  %6.2f\n", w.Start/time.Millisecond, w.Gbps)
+		}
+	}
+
+	var maxLin, maxAng float64
+	for _, s := range res.Samples {
+		maxLin = math.Max(maxLin, s.LinSpeed)
+		maxAng = math.Max(maxAng, s.AngSpeed)
+	}
+	fmt.Printf(`run summary (%s, %s):
+  duration            %v
+  link up             %.1f%% of ticks, %d disconnections
+  pointing            %d solves (%.1f P iters, %.1f G' iters avg), %d failures
+  TP latency          %v
+  peak measured speed %.1f cm/s, %.1f deg/s
+`,
+		cfg.Name, *motionName,
+		prog.Duration(),
+		res.UpFraction*100, res.Disconnections,
+		res.Points, res.MeanPointIters(), res.MeanGPrimeIters(), res.PointFailures,
+		res.MeanTPLatency,
+		maxLin*100, maxAng*180/math.Pi)
+}

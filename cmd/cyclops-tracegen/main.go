@@ -1,0 +1,73 @@
+// Command cyclops-tracegen generates the synthetic 360°-viewing head-motion
+// traces used by the §5.4 evaluation, writes them as CSV, and prints their
+// speed statistics against the Fig 3 envelope.
+//
+// Usage:
+//
+//	cyclops-tracegen -n 10 -out traces/        # write trace CSVs
+//	cyclops-tracegen -n 100 -stats             # statistics only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"time"
+
+	"cyclops"
+)
+
+func main() {
+	n := flag.Int("n", 10, "number of traces")
+	seed := flag.Int64("seed", 1, "generator seed")
+	out := flag.String("out", "", "directory to write trace CSVs (omit to skip writing)")
+	length := flag.Duration("length", time.Minute, "trace length")
+	statsOnly := flag.Bool("stats", false, "print statistics only")
+	flag.Parse()
+
+	if *out != "" && !*statsOnly {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "cyclops-tracegen: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	var p95Lin, p95Ang, maxLin, maxAng float64
+	for i := 0; i < *n; i++ {
+		tr := cyclops.GenerateTrace(*seed, i, *length)
+		st := tr.Stats()
+		p95Lin += st.P95Linear
+		p95Ang += st.P95Angular
+		maxLin = math.Max(maxLin, st.MaxLinear)
+		maxAng = math.Max(maxAng, st.MaxAngular)
+
+		if *out != "" && !*statsOnly {
+			path := filepath.Join(*out, fmt.Sprintf("%s.csv", tr.ID))
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cyclops-tracegen: %v\n", err)
+				os.Exit(1)
+			}
+			if err := tr.WriteCSV(f); err != nil {
+				f.Close()
+				fmt.Fprintf(os.Stderr, "cyclops-tracegen: %v\n", err)
+				os.Exit(1)
+			}
+			f.Close()
+		}
+	}
+	nn := float64(*n)
+	fmt.Printf(`%d traces × %v at 10 ms (seed %d):
+  P95 linear   %.1f cm/s   (Fig 3 envelope: ≤14)
+  P95 angular  %.1f deg/s  (Fig 3 envelope: ≤19)
+  max linear   %.1f cm/s
+  max angular  %.1f deg/s
+`, *n, *length, *seed,
+		p95Lin/nn*100, p95Ang/nn*180/math.Pi,
+		maxLin*100, maxAng*180/math.Pi)
+	if *out != "" && !*statsOnly {
+		fmt.Printf("wrote %d CSVs to %s\n", *n, *out)
+	}
+}

@@ -1,0 +1,206 @@
+// Package cyclops is a full reproduction, as a Go library, of "Cyclops: An
+// FSO-based Wireless Link for VR Headsets" (SIGCOMM 2022): a free-space
+// optical link between a ceiling-mounted transmitter and a VR headset,
+// kept aligned by a learning-based tracking-and-pointing (TP) mechanism
+// that leverages the headset's own tracking system.
+//
+// Because the original is a hardware prototype (galvo mirrors, SFP optics,
+// an Oculus Rift S), this library ships a physics simulation of every
+// hardware component with hidden ground truth, and runs the paper's actual
+// algorithms — the parameterized GMA model G, the two-stage calibration,
+// the G′ inverse, and the pointing function P — unmodified against it.
+// See DESIGN.md for the substitution table and EXPERIMENTS.md for
+// paper-vs-measured results.
+//
+// # Quick start
+//
+//	sys := cyclops.NewSystem(cyclops.Link10G, 1)
+//	report, err := sys.Calibrate()           // §4.1 + §4.2 training
+//	res, err := sys.Run(cyclops.RunOptions{  // drive it with motion
+//	    Program: cyclops.LinearRail(0.25, 0.10, 0.05, 8),
+//	})
+//
+// Every table and figure of the paper's evaluation has a runner in this
+// package (Table1, Fig11, Table2, TPEvaluation, Fig13, Fig14, Fig15,
+// Table3, Fig16, Fig3) returning a structured result that renders the same
+// rows the paper reports.
+package cyclops
+
+import (
+	"time"
+
+	"cyclops/internal/core"
+	"cyclops/internal/geom"
+	"cyclops/internal/link"
+	"cyclops/internal/motion"
+	"cyclops/internal/netem"
+	"cyclops/internal/optics"
+	"cyclops/internal/sim"
+	"cyclops/internal/trace"
+)
+
+// System is one deployed Cyclops installation: the physical plant, the
+// headset tracker, learned models, and the real-time controller.
+type System = core.System
+
+// RunOptions configures an experiment run.
+type RunOptions = core.RunOptions
+
+// RunResult is a run's recorded output.
+type RunResult = core.RunResult
+
+// Sample is one recorded instant of a run.
+type Sample = core.Sample
+
+// CalibrationReport summarizes the two-stage training (Table 2's data).
+type CalibrationReport = core.CalibrationReport
+
+// LinkConfig is a link design (transceiver + beam option + calibrated
+// optics constants).
+type LinkConfig = optics.LinkConfig
+
+// Pose is a rigid transform / headset pose.
+type Pose = geom.Pose
+
+// Program drives the true headset pose during a run.
+type Program = motion.Program
+
+// Trace is one head-motion viewing session.
+type Trace = trace.Trace
+
+// The link designs evaluated in the paper.
+var (
+	// Link10G is the chosen 10 Gbps design: diverging beam, 16 mm at RX
+	// (§5.1 / Fig 11 optimum).
+	Link10G = optics.Diverging10G16mm
+	// Link10GTable1 is the 20 mm operating point Table 1 reports.
+	Link10GTable1 = optics.Diverging10G
+	// Link10GCollimated is §5.1 option (a), the wide collimated beam.
+	Link10GCollimated = optics.Collimated10G
+	// Link25G is the §5.3.1 25 Gbps prototype.
+	Link25G = optics.Diverging25G
+)
+
+// NewSystem builds a system around a link design; all hidden manufacturing
+// and installation variation derives from seed.
+func NewSystem(cfg LinkConfig, seed int64) *System { return core.NewSystem(cfg, seed) }
+
+// DefaultHeadsetPose is where the headset rig starts (≈1.75 m from the TX).
+func DefaultHeadsetPose() Pose { return link.DefaultHeadsetPose() }
+
+// LinearRail builds the §5.3 linear-rail program: strokes of ±halfTravel
+// meters along the rail, with per-stroke peak speed ramping from
+// startSpeed by speedStep (m/s) over the given number of strokes.
+func LinearRail(halfTravel, startSpeed, speedStep float64, strokes int) Program {
+	return motion.LinearStrokes{
+		Base:       link.DefaultHeadsetPose(),
+		Axis:       geom.V(1, 0, 0),
+		HalfTravel: halfTravel,
+		StartSpeed: startSpeed,
+		SpeedStep:  speedStep,
+		Strokes:    strokes,
+		Dwell:      150 * time.Millisecond,
+	}
+}
+
+// RotationStage builds the §5.3 rotation-stage program: yaw sweeps of
+// ±halfAngle radians with per-sweep peak speed ramping from startSpeed by
+// speedStep (rad/s).
+// The stage axis is horizontal (perpendicular to the roughly vertical
+// beam), so rotation directly stresses the incidence angle as in the
+// prototype's horizontal-link rig.
+func RotationStage(halfAngle, startSpeed, speedStep float64, sweeps int) Program {
+	return motion.AngularSweeps{
+		Base:       link.DefaultHeadsetPose(),
+		Axis:       geom.V(1, 0, 0),
+		HalfAngle:  halfAngle,
+		StartSpeed: startSpeed,
+		SpeedStep:  speedStep,
+		Sweeps:     sweeps,
+		Dwell:      150 * time.Millisecond,
+	}
+}
+
+// HandHeld builds the §5.3 user-study program: free mixed motion ramping
+// to the given linear (m/s) and angular (rad/s) intensities.
+func HandHeld(maxLinear, maxAngular float64, length time.Duration, seed int64) Program {
+	return &motion.HandHeld{
+		Base:       link.DefaultHeadsetPose(),
+		MaxLinear:  maxLinear,
+		MaxAngular: maxAngular,
+		Len:        length,
+		Seed:       seed,
+	}
+}
+
+// Playback replays a head-motion trace on the rig.
+func Playback(t Trace) Program {
+	return &motion.TracePlayback{Base: link.DefaultHeadsetPose(), T: t}
+}
+
+// GenerateTrace synthesizes one Fig 3-calibrated viewing trace.
+func GenerateTrace(seed int64, index int, length time.Duration) Trace {
+	return trace.Generate(seed, index, length, link.DefaultHeadsetPose().Trans)
+}
+
+// TraceDataset synthesizes the 500-trace corpus used by Fig 16.
+func TraceDataset(seed int64) []Trace {
+	return trace.Dataset(seed, link.DefaultHeadsetPose().Trans)
+}
+
+// SpeedThreshold analyzes run samples for the highest speed bucket that
+// sustained the link (the Fig 13 threshold readout).
+func SpeedThreshold(samples []Sample, speedOf func(Sample) float64, bucket float64, minSamples int) float64 {
+	return core.SpeedThreshold(samples, speedOf, bucket, minSamples)
+}
+
+// LinSpeedOf and AngSpeedOf are the standard accessors for SpeedThreshold.
+func LinSpeedOf(s Sample) float64 { return s.LinSpeed }
+
+// AngSpeedOf returns the sample's angular speed (rad/s).
+func AngSpeedOf(s Sample) float64 { return s.AngSpeed }
+
+// TraceAvailability is the per-trace outcome of the §5.4 availability
+// simulation.
+type TraceAvailability = sim.TraceResult
+
+// AvailabilityCorpus aggregates a full §5.4 dataset run (Fig 16's data).
+type AvailabilityCorpus = sim.CorpusResult
+
+// VideoProfile describes a raw VR video stream (§2.1's bandwidth
+// motivation).
+type VideoProfile = netem.VideoProfile
+
+// FrameStats summarizes a video streaming session over the link.
+type FrameStats = netem.FrameStats
+
+// Standard raw-video profiles from §2.1.
+var (
+	// Video8K30 is uncompressed 8K RGB at 30 fps (≈24 Gbps).
+	Video8K30 = netem.Video8K30
+	// Video4K90 is uncompressed 4K RGB at 90 fps (≈17.9 Gbps).
+	Video4K90 = netem.Video4K90
+	// Video4K30 is uncompressed 4K RGB at 30 fps (≈6 Gbps).
+	Video4K30 = netem.Video4K30
+)
+
+// StreamVideo replays a run's recorded link states through a frame
+// streamer: the renderer generates raw frames on the video clock and
+// pushes them over the link as it was during the run. Record the run with
+// a small SampleEvery (≤ a few ms) for faithful results.
+func StreamVideo(res RunResult, profile VideoProfile, goodputGbps float64) FrameStats {
+	fs := netem.NewFrameStreamer(profile)
+	for i, s := range res.Samples {
+		var tick time.Duration
+		switch {
+		case i+1 < len(res.Samples):
+			tick = res.Samples[i+1].At - s.At
+		case i > 0:
+			tick = s.At - res.Samples[i-1].At
+		default:
+			tick = time.Millisecond
+		}
+		fs.Tick(s.At, tick, s.Up, goodputGbps)
+	}
+	return fs.Stats()
+}

@@ -1,0 +1,160 @@
+package cyclops
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTable1Regime(t *testing.T) {
+	r := Table1()
+	// The design trade-off of §5.1 in one table: diverging sacrifices
+	// ~25 dB of power for several-fold tolerance.
+	if r.Diverging.PeakPowerDBm >= r.Collimated.PeakPowerDBm-20 {
+		t.Errorf("power gap too small: %+.1f vs %+.1f dBm",
+			r.Collimated.PeakPowerDBm, r.Diverging.PeakPowerDBm)
+	}
+	if r.Diverging.RXAngularMrad < 2*r.Collimated.RXAngularMrad {
+		t.Error("diverging RX tolerance not ≫ collimated")
+	}
+	out := r.Render()
+	for _, want := range []string{"Table 1", "TX angular", "RX angular", "Peak received"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestFig11Optimum(t *testing.T) {
+	r := Fig11()
+	if len(r.Points) < 15 {
+		t.Fatalf("sweep has %d points", len(r.Points))
+	}
+	if r.BestDiameterMM < 12 || r.BestDiameterMM > 20 {
+		t.Errorf("optimum at %.0f mm, paper: 16", r.BestDiameterMM)
+	}
+	if math.Abs(r.BestRXTolMrad-5.77) > 1.0 {
+		t.Errorf("peak RX tolerance %.2f mrad, paper: 5.77", r.BestRXTolMrad)
+	}
+	if !strings.Contains(r.Render(), "peaks at") {
+		t.Error("render missing peak line")
+	}
+}
+
+func TestFig3Runner(t *testing.T) {
+	r := Fig3(1, 10)
+	if r.P95LinearCmS <= 0 || r.P95AngularDegS <= 0 {
+		t.Fatal("empty CDFs")
+	}
+	if r.P95LinearCmS > 20 || r.P95AngularDegS > 28 {
+		t.Errorf("P95 speeds out of Fig 3 regime: %.1f cm/s, %.1f deg/s",
+			r.P95LinearCmS, r.P95AngularDegS)
+	}
+	// CDFs are monotone and end at 1.
+	for i := 1; i < len(r.LinearY); i++ {
+		if r.LinearY[i] < r.LinearY[i-1] {
+			t.Fatal("linear CDF not monotone")
+		}
+	}
+	if r.LinearY[len(r.LinearY)-1] != 1 || r.AngularY[len(r.AngularY)-1] != 1 {
+		t.Error("CDFs do not reach 1")
+	}
+	if !strings.Contains(r.Render(), "P95") {
+		t.Error("render missing summary")
+	}
+}
+
+func TestConvergenceRunner(t *testing.T) {
+	c, err := Convergence(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.MeanPIters < 1 || c.MeanPIters > 6 {
+		t.Errorf("P iterations %.1f, paper 2-5", c.MeanPIters)
+	}
+	if c.MeanGPrimeIters < 1 || c.MeanGPrimeIters > 5 {
+		t.Errorf("G' iterations %.1f, paper 2-4", c.MeanGPrimeIters)
+	}
+	if c.Failures > c.Points/100 {
+		t.Errorf("%d/%d pointing failures", c.Failures, c.Points)
+	}
+}
+
+func TestFig16Runner(t *testing.T) {
+	r := Fig16(3)
+	if r.Corpus.MeanOnFraction < 0.95 || r.Corpus.MeanOnFraction > 0.9999 {
+		t.Errorf("mean on fraction %.4f, paper 0.986", r.Corpus.MeanOnFraction)
+	}
+	if r.EffectiveGbps < 22 || r.EffectiveGbps > 23.5 {
+		t.Errorf("effective bandwidth %.1f Gbps, paper ≈23", r.EffectiveGbps)
+	}
+	if !strings.Contains(r.Render(), "CDF") {
+		t.Error("render missing CDF")
+	}
+}
+
+func TestTable2Runner(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full calibration in -short mode")
+	}
+	r, err := Table2(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := r.Report
+	if rep.Stage1TX.AvgError > 3e-3 || rep.Stage1RX.AvgError > 3e-3 {
+		t.Errorf("stage-1 errors out of regime: %v / %v", rep.Stage1TX, rep.Stage1RX)
+	}
+	if rep.Combined.TXAvg > 6e-3 || rep.Combined.RXAvg > 9e-3 {
+		t.Errorf("combined errors out of regime: %v", rep.Combined)
+	}
+	t.Log("\n" + r.Render())
+}
+
+func TestTPEvaluationRunner(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full calibration in -short mode")
+	}
+	r, err := TPEvaluation(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MeanReportInterval < 12*time.Millisecond || r.MeanReportInterval > 13*time.Millisecond {
+		t.Errorf("mean report interval %v", r.MeanReportInterval)
+	}
+	if r.SlowReportFraction < 0.002 || r.SlowReportFraction > 0.02 {
+		t.Errorf("slow report fraction %.3f, paper 0.007", r.SlowReportFraction)
+	}
+	if r.StationaryLocationMM < 0.5 || r.StationaryLocationMM > 4 {
+		t.Errorf("stationary location noise %.2f mm, paper 1.79", r.StationaryLocationMM)
+	}
+	if r.StationaryOrientMrad < 0.1 || r.StationaryOrientMrad > 1.5 {
+		t.Errorf("stationary orientation noise %.2f mrad, paper 0.41", r.StationaryOrientMrad)
+	}
+	if r.LockTestsOptimal != r.LockTests || r.LockTests != 10 {
+		t.Errorf("lock tests %d/%d optimal, paper 10/10", r.LockTestsOptimal, r.LockTests)
+	}
+	if r.MeanPowerGapDB < 0 || r.MeanPowerGapDB > 8 {
+		t.Errorf("TP power gap %.1f dB, paper 3-4", r.MeanPowerGapDB)
+	}
+	t.Log("\n" + r.Render())
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	// The README quick-start must work as written.
+	sys := NewSystem(Link10G, 6)
+	sys.UseOracleModels() // fast path; Calibrate() covered elsewhere
+	res, err := sys.Run(RunOptions{
+		Program: LinearRail(0.15, 0.10, 0, 2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UpFraction < 0.95 {
+		t.Errorf("quickstart up fraction %.2f", res.UpFraction)
+	}
+	if len(res.Windows) == 0 {
+		t.Error("no throughput windows")
+	}
+}

@@ -1,0 +1,49 @@
+// Quickstart: build a Cyclops system, run its two-stage calibration, and
+// stream over the link while the headset moves — the README example,
+// end to end.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cyclops"
+)
+
+func main() {
+	// A 10 Gbps FSO link with the paper's chosen design: a diverging
+	// beam, 16 mm diameter at the receiver. The seed fixes every hidden
+	// imperfection — galvo geometry, mounting slop, tracker frames — so
+	// runs are reproducible.
+	sys := cyclops.NewSystem(cyclops.Link10G, 42)
+
+	// Calibrate: §4.1's grid-board learning of each galvo assembly's
+	// model G, then §4.2's joint fit of the 12 parameters mapping both
+	// models into the headset tracker's coordinate space.
+	report, err := sys.Calibrate()
+	if err != nil {
+		log.Fatalf("calibration failed: %v", err)
+	}
+	fmt.Println("calibration errors (cf. paper Table 2):")
+	fmt.Printf("  stage 1:  TX %v | RX %v\n", report.Stage1TX, report.Stage1RX)
+	fmt.Printf("  combined: %v\n", report.Combined)
+
+	// Move the headset along a linear rail at 15 cm/s — the Fig 3
+	// "normal use" envelope — while the tracking-and-pointing loop keeps
+	// the beam aligned from the headset's own tracking reports.
+	res, err := sys.Run(cyclops.RunOptions{
+		Program: cyclops.LinearRail(0.20, 0.15, 0, 4),
+	})
+	if err != nil {
+		log.Fatalf("run failed: %v", err)
+	}
+
+	fmt.Printf("\nrun: link up %.1f%% of the time, %d pointing solves (%.1f P iterations avg)\n",
+		res.UpFraction*100, res.Points, res.MeanPointIters())
+	fmt.Println("throughput (50 ms windows):")
+	for i, w := range res.Windows {
+		if i%10 == 0 { // print every half second
+			fmt.Printf("  t=%5dms  %5.2f Gbps\n", w.Start.Milliseconds(), w.Gbps)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package baseline
+
+import (
+	"testing"
+	"time"
+
+	"cyclops/internal/geom"
+	"cyclops/internal/link"
+	"cyclops/internal/motion"
+)
+
+func handMotion(seed int64) motion.Program {
+	return &motion.HandHeld{
+		Base:       link.DefaultHeadsetPose(),
+		MaxLinear:  0.14,
+		MaxAngular: 0.33,
+		Len:        15 * time.Second,
+		Seed:       seed,
+	}
+}
+
+func TestMmWaveSurvivesNormalMotion(t *testing.T) {
+	// The baseline's whole appeal: a 3° beam shrugs off head motion that
+	// stresses the optical link.
+	res := NewMmWave().Run(handMotion(1), nil)
+	if res.UpFraction < 0.999 {
+		t.Errorf("mmWave up fraction %.3f under normal motion", res.UpFraction)
+	}
+	if res.MeanGoodputGbps < 4.0 {
+		t.Errorf("mmWave goodput %.2f Gbps, want ≈4.6", res.MeanGoodputGbps)
+	}
+}
+
+func TestMmWaveCannotExceedItsPeak(t *testing.T) {
+	// And its whole problem: 4.6 Gbps is the ceiling — half a 10G FSO
+	// link, a fifth of the 25G one (§1).
+	res := NewMmWave().Run(handMotion(2), nil)
+	if res.MeanGoodputGbps > 7 {
+		t.Errorf("mmWave goodput %.2f Gbps — model too generous", res.MeanGoodputGbps)
+	}
+	for _, w := range res.Windows {
+		if w.Gbps > 7 {
+			t.Fatalf("window at %v = %.2f Gbps", w.Start, w.Gbps)
+		}
+	}
+}
+
+func TestMmWaveBlockageHurts(t *testing.T) {
+	blocked := func(at time.Duration) bool {
+		return (at/time.Second)%4 >= 2 // blocked half the time
+	}
+	clear := NewMmWave().Run(handMotion(3), nil)
+	obstructed := NewMmWave().Run(handMotion(3), blocked)
+	if obstructed.MeanGoodputGbps > clear.MeanGoodputGbps*0.7 {
+		t.Errorf("25 dB body blockage barely hurt: %.2f vs %.2f Gbps",
+			obstructed.MeanGoodputGbps, clear.MeanGoodputGbps)
+	}
+}
+
+func TestMmWaveStaleBeamDegrades(t *testing.T) {
+	// With beam training disabled for seconds at a time, a walking user
+	// leaves the 3° lobe.
+	l := NewMmWave()
+	l.TrainInterval = 10 * time.Second
+	prog := motion.LinearStrokes{
+		Base:       link.DefaultHeadsetPose(),
+		Axis:       geom.V(1, 0, 0),
+		HalfTravel: 0.4,
+		StartSpeed: 0.3,
+		SpeedStep:  0,
+		Strokes:    4,
+		Dwell:      100 * time.Millisecond,
+	}
+	res := l.Run(prog, nil)
+	if res.MeanGoodputGbps > 4.0 {
+		t.Errorf("stale beam still delivered %.2f Gbps", res.MeanGoodputGbps)
+	}
+}
+
+func TestGoodputLadderMonotone(t *testing.T) {
+	l := NewMmWave()
+	h := link.DefaultHeadsetPose().Trans
+	l.aim = h.Sub(l.APPosition).Unit()
+	aligned := l.goodputAt(h, false)
+	blockedRate := l.goodputAt(h, true)
+	if aligned != l.PeakGoodputGbps {
+		t.Errorf("aligned rate %.2f", aligned)
+	}
+	if blockedRate >= aligned {
+		t.Error("blockage did not reduce rate")
+	}
+	// Degenerate geometry.
+	if g := l.goodputAt(l.APPosition, false); g != 0 {
+		t.Errorf("zero-range goodput %.2f", g)
+	}
+}

@@ -1,0 +1,359 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"cyclops/internal/link"
+	"cyclops/internal/motion"
+	"cyclops/internal/netem"
+	"cyclops/internal/pointing"
+	"cyclops/internal/vrh"
+)
+
+// RunOptions configures one experiment run.
+type RunOptions struct {
+	// Program drives the true headset pose.
+	Program motion.Program
+	// Duration caps the run (defaults to the program duration).
+	Duration time.Duration
+	// Tick is the simulation step (default 1 ms).
+	Tick time.Duration
+	// SampleEvery controls how often a Sample is recorded (default
+	// every tick).
+	SampleEvery time.Duration
+	// DisableTP freezes the mirrors at their initial alignment — the
+	// no-tracking baseline ablation.
+	DisableTP bool
+}
+
+// Sample is one recorded instant of a run.
+type Sample struct {
+	At       time.Duration
+	PowerDBm float64
+	// Up is the SFP/NIC link state (includes the multi-second re-lock
+	// after a loss of signal).
+	Up bool
+	// PowerOK reports whether instantaneous optical power clears the
+	// receiver sensitivity — the alignment-capability signal, free of
+	// re-lock hysteresis. Speed-threshold analysis uses this, exactly as
+	// the paper leans on its received-power subplots (§5.3): once the
+	// beam realigns the light is fine even while the SFP still re-locks.
+	PowerOK bool
+	// LinSpeed (m/s) and AngSpeed (rad/s) are the speeds implied by the
+	// two most recent tracking reports — the same speed estimate the
+	// paper's 50 ms windows use.
+	LinSpeed, AngSpeed float64
+}
+
+// RunResult holds everything a run produced.
+type RunResult struct {
+	Samples []Sample
+	// Windows are the 50 ms iperf-style throughput measurements.
+	Windows []netem.Window
+	// Disconnections counts up→down transitions.
+	Disconnections int
+	// UpFraction is the fraction of ticks with the link up.
+	UpFraction float64
+	// Pointing statistics.
+	Points           int
+	PointFailures    int
+	TotalPointIters  int
+	TotalGPrimeIters int
+	// TPLatency is the realignment latency applied after each report
+	// (DAQ + mirror settle), as measured from the devices.
+	MeanTPLatency time.Duration
+}
+
+// MeanPointIters returns the average P iterations per realignment.
+func (r RunResult) MeanPointIters() float64 {
+	if r.Points == 0 {
+		return 0
+	}
+	return float64(r.TotalPointIters) / float64(r.Points)
+}
+
+// MeanGPrimeIters returns the average G′ iterations per G′ solve (two
+// solves per P iteration).
+func (r RunResult) MeanGPrimeIters() float64 {
+	if r.TotalPointIters == 0 {
+		return 0
+	}
+	return float64(r.TotalGPrimeIters) / float64(2*r.TotalPointIters)
+}
+
+// Run executes the experiment loop: at every tick the headset follows the
+// program; on the tracker's own cadence (12–13 ms) a report arrives and
+// the controller re-solves P (warm-started from the current voltages) and
+// commands the mirrors, which settle after the hardware latency; the link
+// monitor and traffic stream observe the resulting power each tick.
+func (s *System) Run(opts RunOptions) (RunResult, error) {
+	if !s.calibrated {
+		return RunResult{}, fmt.Errorf("core: system not calibrated")
+	}
+	if opts.Program == nil {
+		return RunResult{}, fmt.Errorf("core: no motion program")
+	}
+	tick := opts.Tick
+	if tick <= 0 {
+		tick = time.Millisecond
+	}
+	dur := opts.Duration
+	if dur <= 0 {
+		dur = opts.Program.Duration()
+	}
+	sampleEvery := opts.SampleEvery
+	if sampleEvery <= 0 {
+		sampleEvery = tick
+	}
+
+	var res RunResult
+	mon := link.NewMonitor(s.Plant.Config.Transceiver)
+	stream := netem.NewStream()
+
+	// Initial state: align at the program's first pose.
+	s.Plant.SetHeadset(opts.Program.Pose(0))
+	first, err := s.PointNow(0, s.Plant.CurrentVoltages())
+	if err != nil {
+		return res, fmt.Errorf("core: initial alignment: %w", err)
+	}
+	lastV := first.V
+
+	gt := s.Map.TXModel(s.KTX)
+
+	// Recent reports, kept over a 50 ms horizon: the paper measures
+	// speed as the VRH-T displacement across each 50 ms window, which
+	// averages down the per-report tracking noise.
+	const speedWindow = 50 * time.Millisecond
+	var recent []vrh.Report
+	nextReport := s.Tracker.NextInterval()
+
+	// Pending voltage command: computed at a report, applied after the
+	// hardware latency.
+	var pendingV pointing.Voltages
+	var pendingAt time.Duration = -1
+
+	var upTicks, totalTicks int
+	var latencySum time.Duration
+	var latencyN int
+	wasUp := true
+	var nextSample time.Duration
+
+	for at := time.Duration(0); at <= dur; at += tick {
+		s.Plant.SetHeadset(opts.Program.Pose(at))
+
+		// Apply a settled mirror command.
+		if pendingAt >= 0 && at >= pendingAt {
+			s.Plant.ApplyVoltages(pendingV)
+			lastV = pendingV
+			pendingAt = -1
+		}
+
+		// Tracking report due?
+		if at >= nextReport && !opts.DisableTP {
+			rep := s.Tracker.Report(s.Plant.Headset(), at)
+			recent = append(recent, rep)
+			for len(recent) > 1 && rep.At-recent[0].At > speedWindow {
+				recent = recent[1:]
+			}
+
+			gr := s.Map.RXModel(s.KRX, rep.Pose)
+			pres, perr := pointing.Point(gt, gr, lastV, pointing.PointOptions{})
+			res.Points++
+			if perr != nil {
+				res.PointFailures++
+			} else {
+				res.TotalPointIters += pres.Iterations
+				res.TotalGPrimeIters += pres.GPrimeIterations
+				// Hardware latency: DAQ conversion + mirror
+				// settle, as the devices report it. We probe the
+				// TX device's cost without mutating it by using
+				// the spec directly (both ends move in parallel).
+				lat := hardwareLatency(s)
+				latencySum += lat
+				latencyN++
+				pendingV = pres.V
+				pendingAt = at + lat
+			}
+			nextReport = at + s.Tracker.NextInterval()
+		}
+
+		// Physics + monitors.
+		power := s.Plant.ReceivedPowerDBm()
+		up := mon.Observe(at, power)
+		if wasUp && !up {
+			res.Disconnections++
+		}
+		wasUp = up
+		if up {
+			upTicks++
+		}
+		totalTicks++
+		stream.Tick(at, tick, up, s.Plant.Config.Transceiver.OptimalGoodputGbps)
+
+		if at >= nextSample {
+			var lin, ang float64
+			if len(recent) >= 2 {
+				lin, ang = vrh.Speeds(recent[0], recent[len(recent)-1])
+			}
+			res.Samples = append(res.Samples, Sample{
+				At:       at,
+				PowerDBm: power,
+				Up:       up,
+				PowerOK:  power >= s.Plant.Config.Transceiver.SensitivityDBm,
+				LinSpeed: lin,
+				AngSpeed: ang,
+			})
+			nextSample = at + sampleEvery
+		}
+	}
+
+	res.Windows = stream.Finish()
+	if totalTicks > 0 {
+		res.UpFraction = float64(upTicks) / float64(totalTicks)
+	}
+	if latencyN > 0 {
+		res.MeanTPLatency = latencySum / time.Duration(latencyN)
+	}
+	return res, nil
+}
+
+// hardwareLatency estimates the realignment latency: one DAQ write plus
+// the galvo small-step settle — the 1–2 ms of §5.2. (The P computation
+// itself is microseconds and ignored, as in the paper.)
+func hardwareLatency(s *System) time.Duration {
+	// Derived from the device specs rather than mutating device state.
+	spec := s.Plant.TXDev.Spec()
+	return 1500*time.Microsecond + spec.StepLatency
+}
+
+// SpeedThreshold analyzes a run for the Fig 13-style question: up to what
+// speed did the link sustain alignment? It buckets samples by the given
+// speed accessor and returns the highest bucket (center value) whose
+// samples kept optical power above sensitivity (PowerOK), scanning from
+// slow to fast. Buckets with fewer than minSamples are skipped. PowerOK
+// rather than SFP state keeps multi-second re-lock tails from polluting
+// the slow buckets the rig passes through during recovery.
+func SpeedThreshold(samples []Sample, speedOf func(Sample) float64, bucket float64, minSamples int) float64 {
+	if bucket <= 0 {
+		return 0
+	}
+	type acc struct{ ok, n int }
+	buckets := map[int]*acc{}
+	maxIdx := 0
+	for _, s := range samples {
+		idx := int(speedOf(s) / bucket)
+		a := buckets[idx]
+		if a == nil {
+			a = &acc{}
+			buckets[idx] = a
+		}
+		a.n++
+		if s.PowerOK {
+			a.ok++
+		}
+		if idx > maxIdx {
+			maxIdx = idx
+		}
+	}
+	last := 0.0
+	for idx := 0; idx <= maxIdx; idx++ {
+		a := buckets[idx]
+		if a == nil || a.n < minSamples {
+			continue
+		}
+		frac := float64(a.ok) / float64(a.n)
+		if frac < 0.95 {
+			break
+		}
+		last = (float64(idx) + 0.5) * bucket
+	}
+	return last
+}
+
+// MixedSpeedThreshold answers the Fig 14/15 mixed-motion question: what
+// simultaneous (linear, angular) speed pair did the link sustain? It
+// buckets samples on a 2-D speed grid (5 cm/s × 5 deg/s cells), marks each
+// populated cell OK when ≥95 % of its samples kept optical power, and
+// returns the corner of the largest all-OK rectangle anchored at the
+// origin — "for simultaneous speeds below (lin, ang) the link stayed
+// optimal", the paper's own phrasing. Cells with fewer than minSamples are
+// ignored (the rig simply never dwelled there).
+func MixedSpeedThreshold(samples []Sample, linMax, angMax float64, minSamples int) (lin, ang float64) {
+	const (
+		linBucket = 0.05              // m/s
+		angBucket = 5 * math.Pi / 180 // rad/s
+	)
+	type cell struct{ ok, n int }
+	if linMax <= 0 || angMax <= 0 {
+		return 0, 0
+	}
+	ni := int(linMax/linBucket) + 1
+	nj := int(angMax/angBucket) + 1
+	grid := make([][]cell, ni)
+	for i := range grid {
+		grid[i] = make([]cell, nj)
+	}
+	for _, s := range samples {
+		i := int(s.LinSpeed / linBucket)
+		j := int(s.AngSpeed / angBucket)
+		if i >= ni || j >= nj {
+			continue
+		}
+		grid[i][j].n++
+		if s.PowerOK {
+			grid[i][j].ok++
+		}
+	}
+	cellOK := func(i, j int) bool {
+		c := grid[i][j]
+		if c.n < minSamples {
+			return true // unexercised: does not veto
+		}
+		return float64(c.ok)/float64(c.n) >= 0.95
+	}
+	// Pick the all-OK origin rectangle covering the most samples; ties
+	// go to the smaller corner so sparse unexercised fringes cannot
+	// stretch the reported bound past motion the rig actually performed.
+	var bestCount int
+	bestArea := math.Inf(1)
+	for i := 0; i < ni; i++ {
+		for j := 0; j < nj; j++ {
+			valid := true
+			count := 0
+		scan:
+			for a := 0; a <= i; a++ {
+				for b := 0; b <= j; b++ {
+					if !cellOK(a, b) {
+						valid = false
+						break scan
+					}
+					count += grid[a][b].n
+				}
+			}
+			if !valid {
+				continue
+			}
+			l := float64(i+1) * linBucket
+			g := float64(j+1) * angBucket
+			area := l * g
+			if count > bestCount || (count == bestCount && area < bestArea) {
+				bestCount, bestArea = count, area
+				lin, ang = l, g
+			}
+		}
+	}
+	return lin, ang
+}
+
+// MaxSpeed returns the fastest speed seen among power-OK samples.
+func MaxSpeed(samples []Sample, speedOf func(Sample) float64) float64 {
+	var m float64
+	for _, s := range samples {
+		if s.PowerOK {
+			m = math.Max(m, speedOf(s))
+		}
+	}
+	return m
+}

@@ -1,0 +1,161 @@
+// Package galvo simulates the physical galvo-mirror hardware of the
+// prototype: a ThorLabs GVS102-class two-axis scanner driven through a USB
+// DAQ. The simulator owns a hidden ground-truth gma.Params describing the
+// unit's true (as-built) geometry and exposes only what the real hardware
+// exposes — a voltage command interface with quantization, settle latency,
+// servo pointing noise, and command clamping.
+//
+// Every learning algorithm in Cyclops interacts with the device through
+// this surface; nothing outside the package (except tests, via Truth) may
+// read the hidden geometry. That discipline is what makes the reproduced
+// calibration errors meaningful.
+package galvo
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"cyclops/internal/geom"
+	"cyclops/internal/gma"
+	"cyclops/internal/optics"
+)
+
+// Device is one simulated two-axis galvo assembly (mirrors + servo + DAQ
+// channel pair), including the fixed collimator/SFP launch optics that
+// complete a GMA.
+type Device struct {
+	mu sync.Mutex
+
+	truth gma.Params
+	spec  optics.GalvoSpec
+	daq   optics.DAQSpec
+	rng   *rand.Rand
+
+	v1, v2 float64 // commanded voltages after clamping+quantization
+
+	// slewRate is the mechanical slew rate used for large steps,
+	// rad/s. The GVS102 does ~100 Hz full-field scanning, i.e. on the
+	// order of a few hundred rad/s; small steps are dominated by the
+	// fixed servo settle time instead.
+	slewRate float64
+}
+
+// Option configures a Device.
+type Option func(*Device)
+
+// WithSlewRate overrides the mechanical slew rate (rad/s).
+func WithSlewRate(r float64) Option {
+	return func(d *Device) { d.slewRate = r }
+}
+
+// New builds a device around the given true geometry. The seed fixes the
+// servo-noise stream so experiments are reproducible.
+func New(truth gma.Params, spec optics.GalvoSpec, daq optics.DAQSpec, seed int64, opts ...Option) *Device {
+	d := &Device{
+		truth:    truth,
+		spec:     spec,
+		daq:      daq,
+		rng:      rand.New(rand.NewSource(seed)),
+		slewRate: 300,
+	}
+	for _, o := range opts {
+		o(d)
+	}
+	return d
+}
+
+// NewUnit manufactures a device with realistic unit-to-unit geometry
+// variation: the truth is gma.Nominal perturbed by assembly tolerances.
+func NewUnit(seed int64) *Device {
+	rng := rand.New(rand.NewSource(seed))
+	return New(gma.Perturbed(rng), optics.GVS102, optics.USB1608G, seed+1)
+}
+
+// SetVoltages commands the two mirror channels. The command is clamped to
+// the DAQ output range and quantized to its DAC step. It returns the time
+// the pointing change takes to complete: DAQ conversion plus servo settle
+// plus slew for large steps. (The simulator has no hidden clock; callers —
+// the pointing loop, the simulation engine — account the returned latency.)
+func (d *Device) SetVoltages(v1, v2 float64) time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+
+	q1 := d.quantize(clamp(v1, d.daq.OutputRange))
+	q2 := d.quantize(clamp(v2, d.daq.OutputRange))
+
+	// Mechanical travel for the larger of the two channels.
+	delta := math.Max(math.Abs(q1-d.v1), math.Abs(q2-d.v2)) * d.truth.Theta1
+	lat := d.daq.WriteLatency + d.spec.StepLatency +
+		time.Duration(delta/d.slewRate*float64(time.Second))
+
+	d.v1, d.v2 = q1, q2
+	return lat
+}
+
+// Voltages returns the currently commanded (clamped, quantized) voltages.
+func (d *Device) Voltages() (v1, v2 float64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.v1, d.v2
+}
+
+// VoltageStep returns the smallest commandable voltage increment — the
+// paper's "minimum GM voltage step", used as the pointing-iteration stop
+// threshold.
+func (d *Device) VoltageStep() float64 { return d.daq.VoltageStep() }
+
+// VoltageRange returns the symmetric command limit.
+func (d *Device) VoltageRange() float64 { return d.daq.OutputRange }
+
+// Beam returns the beam the assembly is emitting right now, in the
+// device's K-space frame, including servo pointing noise (the GVS102's
+// 10 µrad-class jitter). Each call samples fresh noise, exactly like
+// reading a jittering physical beam.
+func (d *Device) Beam() (geom.Ray, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	// Servo noise enters as an equivalent voltage perturbation on each
+	// mirror: angular accuracy is optical; mechanical is half; one
+	// mechanical radian is 1/θ₁ volts.
+	sigmaV := d.spec.AngularAccuracy / 2 / d.truth.Theta1
+	n1 := d.v1 + d.rng.NormFloat64()*sigmaV
+	n2 := d.v2 + d.rng.NormFloat64()*sigmaV
+	return d.truth.Beam(n1, n2)
+}
+
+// BeamAt evaluates the emitted beam for explicit voltages without changing
+// the device state — the hardware equivalent is briefly commanding the
+// mirrors and reading where the spot lands. Noise is applied as in Beam.
+func (d *Device) BeamAt(v1, v2 float64) (geom.Ray, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	sigmaV := d.spec.AngularAccuracy / 2 / d.truth.Theta1
+	q1 := d.quantize(clamp(v1, d.daq.OutputRange)) + d.rng.NormFloat64()*sigmaV
+	q2 := d.quantize(clamp(v2, d.daq.OutputRange)) + d.rng.NormFloat64()*sigmaV
+	return d.truth.Beam(q1, q2)
+}
+
+// Truth exposes the hidden geometry. It exists for test oracles and for
+// constructing the physical link simulation; learning code must never call
+// it.
+func (d *Device) Truth() gma.Params { return d.truth }
+
+// Spec returns the galvo specification.
+func (d *Device) Spec() optics.GalvoSpec { return d.spec }
+
+func (d *Device) quantize(v float64) float64 {
+	step := d.daq.VoltageStep()
+	return math.Round(v/step) * step
+}
+
+func clamp(v, limit float64) float64 {
+	if v > limit {
+		return limit
+	}
+	if v < -limit {
+		return -limit
+	}
+	return v
+}

@@ -1,0 +1,113 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Pose is a rigid transform (rotation followed by translation) mapping
+// points from a local frame into a parent frame: world = R·local + T.
+//
+// Poses serve two roles in Cyclops:
+//
+//   - A headset position as reported by the VRH tracking system (location +
+//     orientation), the Ψ of the paper's 5-tuples.
+//   - The K-space → VR-space mapping of §4.2. Each mapping is 6 parameters
+//     (3 rotation, 3 translation); the TX and RX mappings together are the
+//     12 "mapping parameters" learned jointly at deployment.
+type Pose struct {
+	Rot   Quat
+	Trans Vec3
+}
+
+// PoseIdentity is the identity transform.
+func PoseIdentity() Pose { return Pose{Rot: QuatIdentity()} }
+
+// NewPose builds a pose from an orientation and a translation.
+func NewPose(rot Quat, trans Vec3) Pose { return Pose{Rot: rot.Normalize(), Trans: trans} }
+
+// Apply maps a point from the local frame to the parent frame.
+func (p Pose) Apply(v Vec3) Vec3 { return p.Rot.Rotate(v).Add(p.Trans) }
+
+// ApplyDir maps a direction (no translation).
+func (p Pose) ApplyDir(v Vec3) Vec3 { return p.Rot.Rotate(v) }
+
+// ApplyRay maps a ray.
+func (p Pose) ApplyRay(r Ray) Ray {
+	return Ray{Origin: p.Apply(r.Origin), Dir: p.ApplyDir(r.Dir)}
+}
+
+// Inverse returns the pose mapping parent-frame points back to the local
+// frame.
+func (p Pose) Inverse() Pose {
+	inv := p.Rot.Conj()
+	return Pose{Rot: inv, Trans: inv.Rotate(p.Trans.Neg())}
+}
+
+// Compose returns the pose that first applies q, then p: (p∘q)(v) = p(q(v)).
+func (p Pose) Compose(q Pose) Pose {
+	return Pose{Rot: p.Rot.Mul(q.Rot).Normalize(), Trans: p.Apply(q.Trans)}
+}
+
+// Params6 packs the pose into the 6-parameter vector used by the §4.2
+// mapping optimizer: a rotation vector (axis scaled by angle, radians)
+// followed by the translation (meters). Rotation vectors are the natural
+// minimal parameterization for gradient-based fitting: no normalization
+// constraint, smooth near identity.
+func (p Pose) Params6() [6]float64 {
+	n := p.Rot.Normalize()
+	// Convert quaternion to rotation vector.
+	w := n.W
+	v := Vec3{n.X, n.Y, n.Z}
+	s := v.Norm()
+	var rv Vec3
+	if s < 1e-12 {
+		rv = Vec3{} // identity
+	} else {
+		if w > 1 {
+			w = 1
+		} else if w < -1 {
+			w = -1
+		}
+		angle := 2 * math.Atan2(s, w)
+		// Keep angle in (-π, π] for a unique representation.
+		if angle > math.Pi {
+			angle -= 2 * math.Pi
+		}
+		rv = v.Scale(angle / s)
+	}
+	return [6]float64{rv.X, rv.Y, rv.Z, p.Trans.X, p.Trans.Y, p.Trans.Z}
+}
+
+// PoseFromParams6 is the inverse of Params6.
+func PoseFromParams6(p [6]float64) Pose {
+	rv := Vec3{p[0], p[1], p[2]}
+	angle := rv.Norm()
+	var q Quat
+	if angle < 1e-12 {
+		q = QuatIdentity()
+	} else {
+		q = QuatFromAxisAngle(rv, angle)
+	}
+	return Pose{Rot: q, Trans: Vec3{p[3], p[4], p[5]}}
+}
+
+// Delta returns the translational and rotational distance between two
+// poses: |T₁-T₂| in meters and the geodesic angle in radians. These are
+// the two speeds (after dividing by elapsed time) that the paper's Fig 3
+// characterizes for headset motion.
+func (p Pose) Delta(q Pose) (linear, angular float64) {
+	return p.Trans.Dist(q.Trans), p.Rot.AngleTo(q.Rot)
+}
+
+// Interpolate moves from p toward q by fraction t in [0,1], translating
+// linearly and rotating along the geodesic. Used by the trace player to
+// resample 10 ms pose reports onto the 1 ms simulation timeline.
+func (p Pose) Interpolate(q Pose, t float64) Pose {
+	return Pose{Rot: p.Rot.Slerp(q.Rot, t), Trans: p.Trans.Lerp(q.Trans, t)}
+}
+
+// String renders the pose compactly.
+func (p Pose) String() string {
+	return fmt.Sprintf("pose{t=%v, r=%v}", p.Trans, p.Rot)
+}

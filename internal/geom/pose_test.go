@@ -1,0 +1,125 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randPose(rng *rand.Rand) Pose {
+	axis := randVec(rng)
+	if axis.IsZero() {
+		axis = V(1, 0, 0)
+	}
+	return NewPose(
+		QuatFromAxisAngle(axis, rng.Float64()*2*math.Pi-math.Pi),
+		randVec(rng),
+	)
+}
+
+func TestPoseApplyInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 100; i++ {
+		p := randPose(rng)
+		v := randVec(rng)
+		back := p.Inverse().Apply(p.Apply(v))
+		if !back.NearlyEqual(v, 1e-8*(1+v.Norm())) {
+			t.Fatalf("inverse roundtrip failed: %v -> %v", v, back)
+		}
+	}
+}
+
+func TestPoseCompose(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 100; i++ {
+		p, q := randPose(rng), randPose(rng)
+		v := randVec(rng)
+		want := p.Apply(q.Apply(v))
+		got := p.Compose(q).Apply(v)
+		if !got.NearlyEqual(want, 1e-8*(1+v.Norm())) {
+			t.Fatalf("compose mismatch: %v vs %v", got, want)
+		}
+	}
+}
+
+func TestPoseIdentity(t *testing.T) {
+	v := V(1, 2, 3)
+	if got := PoseIdentity().Apply(v); got != v {
+		t.Errorf("identity moved %v to %v", v, got)
+	}
+}
+
+func TestPoseApplyDirIgnoresTranslation(t *testing.T) {
+	p := NewPose(QuatFromAxisAngle(V(0, 0, 1), math.Pi/2), V(100, 100, 100))
+	if got := p.ApplyDir(V(1, 0, 0)); !got.NearlyEqual(V(0, 1, 0), eps) {
+		t.Errorf("ApplyDir = %v", got)
+	}
+}
+
+func TestPoseApplyRay(t *testing.T) {
+	p := NewPose(QuatFromAxisAngle(V(0, 0, 1), math.Pi/2), V(1, 0, 0))
+	r := p.ApplyRay(NewRay(V(0, 0, 0), V(1, 0, 0)))
+	if !r.Origin.NearlyEqual(V(1, 0, 0), eps) {
+		t.Errorf("ray origin = %v", r.Origin)
+	}
+	if !r.Dir.NearlyEqual(V(0, 1, 0), eps) {
+		t.Errorf("ray dir = %v", r.Dir)
+	}
+}
+
+func TestPoseParams6Roundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 200; i++ {
+		p := randPose(rng)
+		q := PoseFromParams6(p.Params6())
+		// Same rigid transform: check action on points, not representation.
+		for j := 0; j < 3; j++ {
+			v := randVec(rng)
+			if !q.Apply(v).NearlyEqual(p.Apply(v), 1e-7*(1+v.Norm())) {
+				t.Fatalf("Params6 roundtrip changed the transform (i=%d)", i)
+			}
+		}
+	}
+}
+
+func TestPoseParams6Identity(t *testing.T) {
+	p := PoseIdentity()
+	got := p.Params6()
+	for i, v := range got {
+		almost(t, v, 0, eps, "identity param "+string(rune('0'+i)))
+	}
+}
+
+func TestPoseDelta(t *testing.T) {
+	p := PoseIdentity()
+	q := NewPose(QuatFromAxisAngle(V(0, 1, 0), 0.1), V(0.03, 0, 0.04))
+	lin, ang := p.Delta(q)
+	almost(t, lin, 0.05, 1e-9, "linear delta")
+	almost(t, ang, 0.1, 1e-9, "angular delta")
+}
+
+func TestPoseInterpolate(t *testing.T) {
+	p := PoseIdentity()
+	q := NewPose(QuatFromAxisAngle(V(0, 0, 1), 1.0), V(2, 0, 0))
+	m := p.Interpolate(q, 0.5)
+	lin, ang := p.Delta(m)
+	almost(t, lin, 1, 1e-9, "interp translation")
+	almost(t, ang, 0.5, 1e-9, "interp rotation")
+	// Endpoints.
+	l0, a0 := p.Interpolate(q, 0).Delta(p)
+	almost(t, l0, 0, 1e-9, "t=0 translation")
+	almost(t, a0, 0, 1e-6, "t=0 rotation")
+	l1, a1 := p.Interpolate(q, 1).Delta(q)
+	almost(t, l1, 0, 1e-9, "t=1 translation")
+	almost(t, a1, 0, 1e-6, "t=1 rotation")
+}
+
+func TestPoseFromParams6LargeRotation(t *testing.T) {
+	// A rotation vector with |θ| near π must survive the roundtrip.
+	p := NewPose(QuatFromAxisAngle(V(1, 1, 1), math.Pi-0.01), V(0, 0, 0))
+	q := PoseFromParams6(p.Params6())
+	v := V(1, -2, 0.3)
+	if !q.Apply(v).NearlyEqual(p.Apply(v), 1e-7) {
+		t.Error("large-angle roundtrip failed")
+	}
+}

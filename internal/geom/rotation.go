@@ -1,0 +1,251 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mat3 is a 3×3 matrix in row-major order. It is primarily used for
+// rotation matrices produced by AxisAngle (the R(r⃗, θ) operator of the
+// paper's §4.1) but supports general linear maps.
+type Mat3 struct {
+	M [3][3]float64
+}
+
+// Identity3 returns the identity matrix.
+func Identity3() Mat3 {
+	return Mat3{M: [3][3]float64{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}}
+}
+
+// AxisAngle returns the rotation matrix R(axis, θ) that rotates a vector by
+// angle theta (radians) about the given axis (which need not be unit
+// length), following the right-hand rule. This is Rodrigues' rotation
+// formula, the R(r⃗, θ) of the paper's GMA model.
+func AxisAngle(axis Vec3, theta float64) Mat3 {
+	u := axis.Unit()
+	c, s := math.Cos(theta), math.Sin(theta)
+	oc := 1 - c
+	x, y, z := u.X, u.Y, u.Z
+	return Mat3{M: [3][3]float64{
+		{c + x*x*oc, x*y*oc - z*s, x*z*oc + y*s},
+		{y*x*oc + z*s, c + y*y*oc, y*z*oc - x*s},
+		{z*x*oc - y*s, z*y*oc + x*s, c + z*z*oc},
+	}}
+}
+
+// Apply returns m·v.
+func (m Mat3) Apply(v Vec3) Vec3 {
+	return Vec3{
+		m.M[0][0]*v.X + m.M[0][1]*v.Y + m.M[0][2]*v.Z,
+		m.M[1][0]*v.X + m.M[1][1]*v.Y + m.M[1][2]*v.Z,
+		m.M[2][0]*v.X + m.M[2][1]*v.Y + m.M[2][2]*v.Z,
+	}
+}
+
+// Mul returns the matrix product m·n.
+func (m Mat3) Mul(n Mat3) Mat3 {
+	var r Mat3
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			var s float64
+			for k := 0; k < 3; k++ {
+				s += m.M[i][k] * n.M[k][j]
+			}
+			r.M[i][j] = s
+		}
+	}
+	return r
+}
+
+// Transpose returns mᵀ. For a rotation matrix this is the inverse.
+func (m Mat3) Transpose() Mat3 {
+	var r Mat3
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			r.M[i][j] = m.M[j][i]
+		}
+	}
+	return r
+}
+
+// Det returns the determinant.
+func (m Mat3) Det() float64 {
+	a := m.M
+	return a[0][0]*(a[1][1]*a[2][2]-a[1][2]*a[2][1]) -
+		a[0][1]*(a[1][0]*a[2][2]-a[1][2]*a[2][0]) +
+		a[0][2]*(a[1][0]*a[2][1]-a[1][1]*a[2][0])
+}
+
+// Col returns column j as a vector.
+func (m Mat3) Col(j int) Vec3 { return Vec3{m.M[0][j], m.M[1][j], m.M[2][j]} }
+
+// Row returns row i as a vector.
+func (m Mat3) Row(i int) Vec3 { return Vec3{m.M[i][0], m.M[i][1], m.M[i][2]} }
+
+// IsRotation reports whether m is orthonormal with determinant +1, to
+// within tol.
+func (m Mat3) IsRotation(tol float64) bool {
+	id := m.Mul(m.Transpose())
+	want := Identity3()
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if math.Abs(id.M[i][j]-want.M[i][j]) > tol {
+				return false
+			}
+		}
+	}
+	return math.Abs(m.Det()-1) <= tol
+}
+
+// Quat is a unit quaternion representing an orientation. W is the scalar
+// part. Cyclops uses quaternions for headset orientations (the VRH-T
+// reports location plus orientation) because they interpolate cleanly and
+// avoid gimbal lock during fast head motion.
+type Quat struct {
+	W, X, Y, Z float64
+}
+
+// QuatIdentity is the identity orientation.
+func QuatIdentity() Quat { return Quat{W: 1} }
+
+// QuatFromAxisAngle builds the quaternion for a rotation of theta radians
+// about axis.
+func QuatFromAxisAngle(axis Vec3, theta float64) Quat {
+	u := axis.Unit()
+	s := math.Sin(theta / 2)
+	return Quat{W: math.Cos(theta / 2), X: u.X * s, Y: u.Y * s, Z: u.Z * s}
+}
+
+// QuatFromEuler builds a quaternion from intrinsic yaw (about +Y), pitch
+// (about +X), then roll (about +Z) angles in radians. This matches the
+// yaw/pitch/roll convention used for head-motion traces.
+func QuatFromEuler(yaw, pitch, roll float64) Quat {
+	qy := QuatFromAxisAngle(Vec3{0, 1, 0}, yaw)
+	qx := QuatFromAxisAngle(Vec3{1, 0, 0}, pitch)
+	qz := QuatFromAxisAngle(Vec3{0, 0, 1}, roll)
+	return qy.Mul(qx).Mul(qz)
+}
+
+// RotationBetween returns the shortest-arc quaternion rotating direction a
+// onto direction b (inputs need not be unit length). Anti-parallel inputs
+// rotate π about an arbitrary perpendicular axis.
+func RotationBetween(a, b Vec3) Quat {
+	ua, ub := a.Unit(), b.Unit()
+	if ua.IsZero() || ub.IsZero() {
+		return QuatIdentity()
+	}
+	d := ua.Dot(ub)
+	if d > 1-1e-12 {
+		return QuatIdentity()
+	}
+	if d < -1+1e-12 {
+		perp, _ := ua.Orthonormal()
+		return QuatFromAxisAngle(perp, math.Pi)
+	}
+	axis := ua.Cross(ub)
+	return QuatFromAxisAngle(axis, math.Acos(clampUnit(d)))
+}
+
+func clampUnit(v float64) float64 {
+	if v > 1 {
+		return 1
+	}
+	if v < -1 {
+		return -1
+	}
+	return v
+}
+
+// Mul returns the quaternion product q·r (apply r first, then q).
+func (q Quat) Mul(r Quat) Quat {
+	return Quat{
+		W: q.W*r.W - q.X*r.X - q.Y*r.Y - q.Z*r.Z,
+		X: q.W*r.X + q.X*r.W + q.Y*r.Z - q.Z*r.Y,
+		Y: q.W*r.Y - q.X*r.Z + q.Y*r.W + q.Z*r.X,
+		Z: q.W*r.Z + q.X*r.Y - q.Y*r.X + q.Z*r.W,
+	}
+}
+
+// Conj returns the conjugate (inverse for unit quaternions).
+func (q Quat) Conj() Quat { return Quat{W: q.W, X: -q.X, Y: -q.Y, Z: -q.Z} }
+
+// Norm returns the quaternion magnitude.
+func (q Quat) Norm() float64 {
+	return math.Sqrt(q.W*q.W + q.X*q.X + q.Y*q.Y + q.Z*q.Z)
+}
+
+// Normalize returns q scaled to unit length. The zero quaternion maps to
+// the identity.
+func (q Quat) Normalize() Quat {
+	n := q.Norm()
+	if n == 0 {
+		return QuatIdentity()
+	}
+	return Quat{q.W / n, q.X / n, q.Y / n, q.Z / n}
+}
+
+// Rotate applies the rotation to v: q·v·q*.
+func (q Quat) Rotate(v Vec3) Vec3 {
+	// Optimized form: t = 2·(q.xyz × v); v' = v + w·t + q.xyz × t
+	qv := Vec3{q.X, q.Y, q.Z}
+	t := qv.Cross(v).Scale(2)
+	return v.Add(t.Scale(q.W)).Add(qv.Cross(t))
+}
+
+// Mat returns the equivalent rotation matrix.
+func (q Quat) Mat() Mat3 {
+	n := q.Normalize()
+	w, x, y, z := n.W, n.X, n.Y, n.Z
+	return Mat3{M: [3][3]float64{
+		{1 - 2*(y*y+z*z), 2 * (x*y - w*z), 2 * (x*z + w*y)},
+		{2 * (x*y + w*z), 1 - 2*(x*x+z*z), 2 * (y*z - w*x)},
+		{2 * (x*z - w*y), 2 * (y*z + w*x), 1 - 2*(x*x+y*y)},
+	}}
+}
+
+// AngleTo returns the geodesic angle in radians between two orientations,
+// in [0, π]. This is the angular distance used when measuring headset
+// angular speed from consecutive VRH-T reports.
+func (q Quat) AngleTo(r Quat) float64 {
+	d := q.Normalize().Conj().Mul(r.Normalize())
+	// Clamp for numeric safety.
+	w := math.Abs(d.W)
+	if w > 1 {
+		w = 1
+	}
+	return 2 * math.Acos(w)
+}
+
+// Slerp spherically interpolates from q to r by t in [0,1].
+func (q Quat) Slerp(r Quat, t float64) Quat {
+	a, b := q.Normalize(), r.Normalize()
+	dot := a.W*b.W + a.X*b.X + a.Y*b.Y + a.Z*b.Z
+	if dot < 0 {
+		b = Quat{-b.W, -b.X, -b.Y, -b.Z}
+		dot = -dot
+	}
+	if dot > 0.9995 {
+		// Nearly parallel: fall back to normalized lerp.
+		return Quat{
+			a.W + t*(b.W-a.W),
+			a.X + t*(b.X-a.X),
+			a.Y + t*(b.Y-a.Y),
+			a.Z + t*(b.Z-a.Z),
+		}.Normalize()
+	}
+	theta := math.Acos(dot)
+	s := math.Sin(theta)
+	wa := math.Sin((1-t)*theta) / s
+	wb := math.Sin(t*theta) / s
+	return Quat{
+		wa*a.W + wb*b.W,
+		wa*a.X + wb*b.X,
+		wa*a.Y + wb*b.Y,
+		wa*a.Z + wb*b.Z,
+	}.Normalize()
+}
+
+// String renders the quaternion.
+func (q Quat) String() string {
+	return fmt.Sprintf("quat(w=%.4f, x=%.4f, y=%.4f, z=%.4f)", q.W, q.X, q.Y, q.Z)
+}

@@ -1,0 +1,194 @@
+package handover
+
+import (
+	"testing"
+	"time"
+
+	"cyclops/internal/geom"
+	"cyclops/internal/link"
+	"cyclops/internal/motion"
+	"cyclops/internal/optics"
+)
+
+func twoTXPositions() []geom.Vec3 {
+	return []geom.Vec3{
+		{X: 0, Y: 0, Z: link.CeilingHeight},
+		{X: 1.2, Y: 0.8, Z: link.CeilingHeight},
+	}
+}
+
+func staticProgram(d time.Duration) motion.Program {
+	return motion.Static{P: link.DefaultHeadsetPose(), Len: d}
+}
+
+func TestNewArrayValidation(t *testing.T) {
+	if _, err := NewArray(optics.Diverging10G16mm, 1, nil); err == nil {
+		t.Error("empty TX list accepted")
+	}
+}
+
+func TestArraySharesReceiver(t *testing.T) {
+	a, err := NewArray(optics.Diverging10G16mm, 2, twoTXPositions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same RX hardware identity across plants.
+	if a.Plants[0].RXDev.Truth() != a.Plants[1].RXDev.Truth() {
+		t.Error("plants do not share the RX device")
+	}
+	// Distinct TX hardware and mounts.
+	if a.Plants[0].TXDev.Truth() == a.Plants[1].TXDev.Truth() {
+		t.Error("plants share TX hardware")
+	}
+	if a.Plants[0].TXMountTruth().Trans == a.Plants[1].TXMountTruth().Trans {
+		t.Error("plants share TX position")
+	}
+}
+
+func TestEachTXCanServeTheHeadset(t *testing.T) {
+	a, err := NewArray(optics.Diverging10G16mm, 3, twoTXPositions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Plants {
+		if _, err := a.PointAt(i); err != nil {
+			t.Fatalf("TX %d cannot point: %v", i, err)
+		}
+		if p := a.PowerDBm(i, 0); p < a.Plants[i].Config.Transceiver.SensitivityDBm {
+			t.Errorf("TX %d aligned power %.1f dBm below sensitivity", i, p)
+		}
+	}
+}
+
+func TestInactiveTXContributesNoLight(t *testing.T) {
+	a, _ := NewArray(optics.Diverging10G16mm, 4, twoTXPositions())
+	if _, err := a.PointAt(0); err != nil {
+		t.Fatal(err)
+	}
+	if p := a.PowerDBm(1, 0); p > -1e6 {
+		t.Errorf("inactive TX delivered %.1f dBm", p)
+	}
+}
+
+func TestBlockedDetectsOccluder(t *testing.T) {
+	a, _ := NewArray(optics.Diverging10G16mm, 5, twoTXPositions())
+	// A sphere parked on TX 0's path midpoint.
+	mid := a.Plants[0].TXMountTruth().Trans.Lerp(a.Plants[0].RXWorldPose().Trans, 0.5)
+	a.Occluders = []Occluder{{Radius: 0.15, Path: func(time.Duration) geom.Vec3 { return mid }}}
+	if !a.Blocked(0, 0) {
+		t.Error("occluder on path not detected")
+	}
+	if a.Blocked(1, 0) {
+		t.Error("clear path reported blocked")
+	}
+	if p := a.PowerDBm(0, 0); p > -1e6 {
+		t.Errorf("blocked path delivered %.1f dBm", p)
+	}
+}
+
+func TestCrossingOccluderMoves(t *testing.T) {
+	oc := CrossingOccluder(0.1, geom.V(0, 0, 0), geom.V(1, 0, 0), time.Second)
+	if got := oc.Path(0); !got.NearlyEqual(geom.V(0, 0, 0), 1e-9) {
+		t.Errorf("start = %v", got)
+	}
+	if got := oc.Path(500 * time.Millisecond); !got.NearlyEqual(geom.V(0.5, 0, 0), 1e-9) {
+		t.Errorf("midpoint = %v", got)
+	}
+	// Wraps.
+	if got := oc.Path(1500 * time.Millisecond); !got.NearlyEqual(geom.V(0.5, 0, 0), 1e-9) {
+		t.Errorf("wrap = %v", got)
+	}
+	// Zero period is static.
+	oc0 := CrossingOccluder(0.1, geom.V(2, 0, 0), geom.V(3, 0, 0), 0)
+	if got := oc0.Path(time.Hour); got != geom.V(2, 0, 0) {
+		t.Errorf("zero-period occluder moved: %v", got)
+	}
+}
+
+func TestBestCandidateSkipsBlocked(t *testing.T) {
+	a, _ := NewArray(optics.Diverging10G16mm, 6, twoTXPositions())
+	mid := a.Plants[0].TXMountTruth().Trans.Lerp(a.Plants[0].RXWorldPose().Trans, 0.5)
+	a.Occluders = []Occluder{{Radius: 0.15, Path: func(time.Duration) geom.Vec3 { return mid }}}
+	if got := a.BestCandidate(0); got != 1 {
+		t.Errorf("best candidate = %d, want 1 (TX 0 blocked)", got)
+	}
+	// Block both: no candidate.
+	mid1 := a.Plants[1].TXMountTruth().Trans.Lerp(a.Plants[1].RXWorldPose().Trans, 0.5)
+	a.Occluders = append(a.Occluders, Occluder{Radius: 0.15, Path: func(time.Duration) geom.Vec3 { return mid1 }})
+	if got := a.BestCandidate(0); got != -1 {
+		t.Errorf("best candidate = %d, want -1 (all blocked)", got)
+	}
+}
+
+func TestRunWithoutOccluders(t *testing.T) {
+	a, _ := NewArray(optics.Diverging10G16mm, 7, twoTXPositions())
+	res, err := a.Run(RunOptions{Program: staticProgram(2 * time.Second)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LightFraction < 0.999 || res.UpFraction < 0.999 {
+		t.Errorf("clear-sky run degraded: %+v", res)
+	}
+	if res.Handovers != 0 {
+		t.Errorf("spurious handovers: %d", res.Handovers)
+	}
+}
+
+// TestHandoverImprovesAvailability is the §3 claim: under periodic
+// occlusion of the primary path, handover to a second TX recovers most of
+// the lost time.
+func TestHandoverImprovesAvailability(t *testing.T) {
+	mkArray := func() *Array {
+		a, err := NewArray(optics.Diverging10G16mm, 8, twoTXPositions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// An occluder that parks on TX 0's path for the second half of
+		// each 20 s cycle, far from TX 1's path.
+		mid := a.Plants[0].TXMountTruth().Trans.Lerp(a.Plants[0].RXWorldPose().Trans, 0.5)
+		away := mid.Add(geom.V(-2, -2, 0))
+		a.Occluders = []Occluder{{
+			Radius: 0.15,
+			Path: func(tt time.Duration) geom.Vec3 {
+				if (tt/time.Second)%20 >= 10 {
+					return mid
+				}
+				return away
+			},
+		}}
+		return a
+	}
+
+	base, err := mkArray().Run(RunOptions{Program: staticProgram(40 * time.Second), Enable: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hand, err := mkArray().Run(RunOptions{Program: staticProgram(40 * time.Second), Enable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Baseline: blocked ~half the time.
+	if base.LightFraction > 0.65 {
+		t.Errorf("baseline light fraction %.2f — occluder ineffective", base.LightFraction)
+	}
+	// Handover: recovers nearly everything (switch + relock costs a few
+	// seconds per cycle).
+	if hand.LightFraction < base.LightFraction+0.25 {
+		t.Errorf("handover light %.2f vs baseline %.2f — no real improvement",
+			hand.LightFraction, base.LightFraction)
+	}
+	if hand.Handovers == 0 {
+		t.Error("no handovers executed")
+	}
+	if hand.BlockedAllFraction > 0.01 {
+		t.Errorf("both paths blocked %.2f of the time — bad fixture", hand.BlockedAllFraction)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	a, _ := NewArray(optics.Diverging10G16mm, 9, twoTXPositions())
+	if _, err := a.Run(RunOptions{}); err == nil {
+		t.Error("nil program accepted")
+	}
+}

@@ -1,0 +1,268 @@
+package link
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"cyclops/internal/geom"
+	"cyclops/internal/optics"
+	"cyclops/internal/pointing"
+)
+
+func alignedPlant(t *testing.T, cfg optics.LinkConfig, seed int64) *Plant {
+	t.Helper()
+	p := NewPlant(cfg, seed)
+	v, err := p.OracleAlignedVoltages()
+	if err != nil {
+		t.Fatalf("oracle alignment: %v", err)
+	}
+	p.ApplyVoltages(v)
+	return p
+}
+
+func TestOracleAlignmentReachesPeakPower(t *testing.T) {
+	p := alignedPlant(t, optics.Diverging10G16mm, 1)
+	got := p.ReceivedPowerDBm()
+	want := p.Config.PeakReceivedPowerDBm()
+	// Within ~1.5 dB of the radiometric peak (servo noise + DAC
+	// quantization keep it slightly below).
+	if got < want-1.5 || got > want+0.5 {
+		t.Errorf("aligned power = %.2f dBm, peak = %.2f dBm", got, want)
+	}
+	if !p.Connected() {
+		t.Error("aligned link not connected")
+	}
+}
+
+func TestRangeIsNominal(t *testing.T) {
+	p := alignedPlant(t, optics.Diverging10G16mm, 2)
+	m, err := p.Misalignment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Range < 1.4 || m.Range > 2.1 {
+		t.Errorf("TX-RX range = %.2f m, want ≈1.75", m.Range)
+	}
+}
+
+func TestHeadsetMovementDegradesPower(t *testing.T) {
+	p := alignedPlant(t, optics.Diverging10G16mm, 3)
+	aligned := p.ReceivedPowerDBm()
+
+	// Rotate the headset well beyond the RX angular tolerance without
+	// re-pointing.
+	h := p.Headset()
+	p.SetHeadset(geom.NewPose(
+		geom.QuatFromAxisAngle(geom.V(1, 0, 0), 0.05).Mul(h.Rot), h.Trans))
+	rotated := p.ReceivedPowerDBm()
+	if rotated >= aligned-10 {
+		t.Errorf("50 mrad rotation only dropped power %.1f → %.1f dBm", aligned, rotated)
+	}
+	if p.Connected() {
+		t.Error("link survived rotation far beyond tolerance")
+	}
+}
+
+func TestSmallMovementWithinTolerance(t *testing.T) {
+	p := alignedPlant(t, optics.Diverging10G16mm, 4)
+	h := p.Headset()
+	// 2 mrad rotation: well inside the ≈5.8 mrad RX tolerance.
+	p.SetHeadset(geom.NewPose(
+		geom.QuatFromAxisAngle(geom.V(1, 0, 0), 0.002).Mul(h.Rot), h.Trans))
+	if !p.Connected() {
+		t.Error("link lost within angular tolerance")
+	}
+	// 2 mm translation: inside lateral tolerance.
+	p.SetHeadset(geom.NewPose(h.Rot, h.Trans.Add(geom.V(0.002, 0, 0))))
+	if !p.Connected() {
+		t.Error("link lost within lateral tolerance")
+	}
+}
+
+func TestRepointingRestoresPower(t *testing.T) {
+	p := alignedPlant(t, optics.Diverging10G16mm, 5)
+	h := p.Headset()
+	moved := geom.NewPose(
+		geom.QuatFromAxisAngle(geom.V(0, 1, 0), 0.03).Mul(h.Rot),
+		h.Trans.Add(geom.V(0.05, -0.03, 0.02)))
+	p.SetHeadset(moved)
+	if p.Connected() {
+		t.Fatal("test premise broken: big move should disconnect")
+	}
+	v, err := p.OracleAlignedVoltages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.ApplyVoltages(v)
+	if !p.Connected() {
+		t.Error("re-pointing did not restore the link")
+	}
+	if got, want := p.ReceivedPowerDBm(), p.Config.PeakReceivedPowerDBm(); got < want-1.5 {
+		t.Errorf("re-pointed power %.2f dBm below peak %.2f", got, want)
+	}
+}
+
+func TestMisalignmentCollimatedUsesBeamAxisAngle(t *testing.T) {
+	// For a collimated link, rotating the TX changes the incidence
+	// mismatch; for a diverging link it must not (§5.1 mechanism).
+	for _, tc := range []struct {
+		cfg        optics.LinkConfig
+		wantChange bool
+	}{
+		{optics.Collimated10G, true},
+		{optics.Diverging10G16mm, false},
+	} {
+		p := alignedPlant(t, tc.cfg, 6)
+		m0, err := p.Misalignment()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Detune one TX mirror by 1.5 mrad optical.
+		v := p.CurrentVoltages()
+		v.TX1 += 0.0015 / p.TXDev.Spec().RadPerVolt()
+		p.ApplyVoltages(v)
+		m1, err := p.Misalignment()
+		if err != nil {
+			t.Fatal(err)
+		}
+		change := math.Abs(m1.IncidenceMismatch - m0.IncidenceMismatch)
+		if tc.wantChange && change < 0.5e-3 {
+			t.Errorf("%s: TX rotation did not change incidence (%v)", tc.cfg.Name, change)
+		}
+		if !tc.wantChange && change > 0.5e-3 {
+			t.Errorf("%s: TX rotation changed incidence by %v — diverging beams should be immune", tc.cfg.Name, change)
+		}
+		// Both kinds see the lateral offset grow.
+		if m1.LateralOffset <= m0.LateralOffset {
+			t.Errorf("%s: TX rotation did not grow lateral offset", tc.cfg.Name)
+		}
+	}
+}
+
+func TestAlignSearchFindsSignal(t *testing.T) {
+	p := NewPlant(optics.Diverging10G16mm, 7)
+	rng := rand.New(rand.NewSource(1))
+	v, pw, err := p.Align(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := p.Config.PeakReceivedPowerDBm()
+	if pw < peak-3 {
+		t.Errorf("search power %.2f dBm, peak %.2f dBm", pw, peak)
+	}
+	// Search result close to the oracle voltages.
+	ov, err := p.OracleAlignedVoltages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, d := range map[string]float64{
+		"TX1": v.TX1 - ov.TX1, "TX2": v.TX2 - ov.TX2,
+		"RX1": v.RX1 - ov.RX1, "RX2": v.RX2 - ov.RX2,
+	} {
+		if math.Abs(d) > 0.1 {
+			t.Errorf("search %s off oracle by %.3f V", name, d)
+		}
+	}
+}
+
+func TestAlignSearchFailsWithNoSignal(t *testing.T) {
+	p := NewPlant(optics.Diverging10G16mm, 8)
+	// Start absurdly far from alignment with a tiny window: no light.
+	_, _, err := p.AlignSearch(pointing.Voltages{TX1: 9, TX2: 9, RX1: -9, RX2: -9},
+		AlignOptions{CoarseSpan: 0.05, CoarseStep: 0.02})
+	if err == nil {
+		t.Error("expected alignment failure far from signal")
+	}
+}
+
+func TestMonitorRelock(t *testing.T) {
+	m := NewMonitor(optics.SFP10GZR)
+	ms := func(x int) time.Duration { return time.Duration(x) * time.Millisecond }
+
+	if !m.Observe(ms(0), -20) {
+		t.Fatal("healthy link reported down")
+	}
+	if m.GoodputGbps() != optics.SFP10GZR.OptimalGoodputGbps {
+		t.Error("goodput while up")
+	}
+	// Power drop: immediate loss.
+	if m.Observe(ms(10), -40) {
+		t.Fatal("link survived power below sensitivity")
+	}
+	if m.GoodputGbps() != 0 {
+		t.Error("goodput while down")
+	}
+	// Light back: stays down until relock delay elapses.
+	if m.Observe(ms(20), -20) {
+		t.Fatal("relocked instantly")
+	}
+	if m.Observe(ms(1000), -20) {
+		t.Fatal("relocked before delay")
+	}
+	if !m.Observe(ms(20+3000), -20) {
+		t.Fatal("did not relock after delay")
+	}
+	// A flicker during relock restarts the clock.
+	m2 := NewMonitor(optics.SFP10GZR)
+	m2.Observe(ms(0), -40)
+	m2.Observe(ms(10), -20)
+	m2.Observe(ms(1500), -40) // flicker
+	m2.Observe(ms(1510), -20)
+	if m2.Observe(ms(3200), -20) {
+		t.Error("flicker did not restart relock clock")
+	}
+	if !m2.Observe(ms(1510+3000), -20) {
+		t.Error("no relock after flicker recovery")
+	}
+}
+
+func TestPlantDeterministic(t *testing.T) {
+	a := alignedPlant(t, optics.Diverging10G16mm, 42)
+	b := alignedPlant(t, optics.Diverging10G16mm, 42)
+	va, vb := a.CurrentVoltages(), b.CurrentVoltages()
+	if va != vb {
+		t.Errorf("same seed, different alignment: %+v vs %+v", va, vb)
+	}
+}
+
+func TestGravityFlex(t *testing.T) {
+	p := NewPlant(optics.Diverging10G16mm, 11)
+	h := p.Headset()
+	base := p.RXWorldPose()
+
+	// Upright headset: no sag regardless of coefficient.
+	p.FlexCoeff = 0.008
+	if got := p.RXWorldPose(); got.Trans.Dist(base.Trans) > 1e-12 {
+		t.Error("sag applied with upright headset")
+	}
+	// Tilted headset: the assembly shifts by ≈ coeff·|Δg| ≈ 1.7 mm at 12°.
+	tilted := geom.NewPose(geom.QuatFromAxisAngle(geom.V(1, 0, 0), 0.21).Mul(h.Rot), h.Trans)
+	p.SetHeadset(tilted)
+	withFlex := p.RXWorldPose()
+	p.FlexCoeff = 0
+	rigid := p.RXWorldPose()
+	d := withFlex.Trans.Dist(rigid.Trans)
+	if d < 0.5e-3 || d > 4e-3 {
+		t.Errorf("sag at 12° tilt = %v m, want ≈1.7 mm", d)
+	}
+}
+
+func Test25GPlantWorks(t *testing.T) {
+	p := alignedPlant(t, optics.Diverging25G, 9)
+	if !p.Connected() {
+		t.Error("25G plant not connectable")
+	}
+}
+
+func TestCollimatedPlantWorks(t *testing.T) {
+	p := alignedPlant(t, optics.Collimated10G, 10)
+	if !p.Connected() {
+		t.Error("collimated plant not connectable")
+	}
+	got := p.ReceivedPowerDBm()
+	if math.Abs(got-15) > 2.5 {
+		t.Errorf("collimated aligned power = %.2f dBm, want ≈15", got)
+	}
+}

@@ -1,0 +1,66 @@
+package link
+
+import (
+	"time"
+
+	"cyclops/internal/optics"
+)
+
+// Monitor is the time-aware link-state machine layered on instantaneous
+// received power. It models the §5.3 observation that "once the link is
+// lost, it takes a few seconds to regain" — the SFP and NIC must re-lock
+// after a loss of signal even though light returned immediately.
+type Monitor struct {
+	t optics.Transceiver
+
+	up bool
+	// lightSince is when optical power was last continuously above
+	// sensitivity while the link is down.
+	lightSince time.Duration
+	hasLight   bool
+}
+
+// NewMonitor creates a monitor that starts in the connected state (the
+// experiments begin from an aligned, locked link).
+func NewMonitor(t optics.Transceiver) *Monitor {
+	return &Monitor{t: t, up: true}
+}
+
+// Observe feeds one (time, power) sample and returns whether the link is
+// up after it. Samples must be fed in non-decreasing time order.
+func (m *Monitor) Observe(at time.Duration, powerDBm float64) bool {
+	light := powerDBm >= m.t.SensitivityDBm
+	if m.up {
+		if !light {
+			m.up = false
+			m.hasLight = false
+		}
+		return m.up
+	}
+	// Link down: track continuous light until relock.
+	if !light {
+		m.hasLight = false
+		return false
+	}
+	if !m.hasLight {
+		m.hasLight = true
+		m.lightSince = at
+		return false
+	}
+	if at-m.lightSince >= m.t.RelockDelay {
+		m.up = true
+	}
+	return m.up
+}
+
+// Up returns the current link state.
+func (m *Monitor) Up() bool { return m.up }
+
+// GoodputGbps returns the instantaneous TCP goodput: the optimal rate when
+// up, zero when down.
+func (m *Monitor) GoodputGbps() float64 {
+	if m.up {
+		return m.t.OptimalGoodputGbps
+	}
+	return 0
+}

@@ -1,0 +1,138 @@
+package netem
+
+import (
+	"fmt"
+	"time"
+)
+
+// VideoProfile describes a raw VR video stream (§2.1's bandwidth
+// motivation).
+type VideoProfile struct {
+	Name string
+	// FPS is the frame rate.
+	FPS float64
+	// BitsPerFrame is the raw frame size.
+	BitsPerFrame float64
+}
+
+// Gbps returns the stream's raw data rate.
+func (v VideoProfile) Gbps() float64 { return v.BitsPerFrame * v.FPS / 1e9 }
+
+// Standard profiles from the paper's §2.1 discussion.
+var (
+	// Video8K30 is uncompressed 8K RGB at 30 fps ≈ 24 Gbps.
+	Video8K30 = VideoProfile{Name: "8K RGB 30fps", FPS: 30, BitsPerFrame: 7680 * 4320 * 24}
+	// Video4K90 is uncompressed 4K RGB at 90 fps ≈ 17.9 Gbps — a
+	// profile a 25G link carries with headroom.
+	Video4K90 = VideoProfile{Name: "4K RGB 90fps", FPS: 90, BitsPerFrame: 3840 * 2160 * 24}
+	// Video4K30 is uncompressed 4K RGB at 30 fps ≈ 6 Gbps — the kind of
+	// stream a 10G link carries.
+	Video4K30 = VideoProfile{Name: "4K RGB 30fps", FPS: 30, BitsPerFrame: 3840 * 2160 * 24}
+)
+
+// FrameStats summarizes a streaming session.
+type FrameStats struct {
+	Generated int
+	Delivered int
+	// Late counts frames delivered after more than one frame period
+	// (motion-to-photon budget blown).
+	Late int
+	// Dropped counts frames abandoned because the queue exceeded
+	// MaxQueue (the renderer skips ahead rather than letting latency
+	// grow unboundedly).
+	Dropped  int
+	MaxDelay time.Duration
+}
+
+// DeliveredFraction returns Delivered/Generated.
+func (s FrameStats) DeliveredFraction() float64 {
+	if s.Generated == 0 {
+		return 0
+	}
+	return float64(s.Delivered) / float64(s.Generated)
+}
+
+func (s FrameStats) String() string {
+	return fmt.Sprintf("frames: %d generated, %d delivered (%d late, %d dropped), max delay %v",
+		s.Generated, s.Delivered, s.Late, s.Dropped, s.MaxDelay)
+}
+
+// FrameStreamer models the renderer pushing raw video frames over the
+// link: frames are generated on the FPS clock, queued, and drained at the
+// link's instantaneous rate.
+type FrameStreamer struct {
+	Profile VideoProfile
+	// MaxQueue bounds queued frames before the renderer drops (default 3).
+	MaxQueue int
+
+	queue     []frame
+	nextGen   time.Duration
+	remaining float64 // bits left of the frame currently transmitting
+	stats     FrameStats
+}
+
+type frame struct {
+	born time.Duration
+}
+
+// NewFrameStreamer builds a streamer for the profile.
+func NewFrameStreamer(p VideoProfile) *FrameStreamer {
+	return &FrameStreamer{Profile: p, MaxQueue: 3}
+}
+
+// Tick advances the streamer by tickLen at time at with the given link
+// state.
+func (f *FrameStreamer) Tick(at, tickLen time.Duration, up bool, lineRateGbps float64) {
+	period := time.Duration(float64(time.Second) / f.Profile.FPS)
+
+	// Generate frames due in this tick.
+	for f.nextGen <= at {
+		f.stats.Generated++
+		if len(f.queue) >= f.MaxQueue {
+			f.stats.Dropped++
+		} else {
+			if len(f.queue) == 0 && f.remaining == 0 {
+				f.remaining = f.Profile.BitsPerFrame
+				f.queue = append(f.queue, frame{born: f.nextGen})
+			} else {
+				f.queue = append(f.queue, frame{born: f.nextGen})
+			}
+		}
+		f.nextGen += period
+	}
+
+	if !up || len(f.queue) == 0 {
+		return
+	}
+	if f.remaining == 0 {
+		f.remaining = f.Profile.BitsPerFrame
+	}
+
+	budget := lineRateGbps * 1e9 * tickLen.Seconds()
+	now := at + tickLen
+	for budget > 0 && len(f.queue) > 0 {
+		if budget >= f.remaining {
+			budget -= f.remaining
+			f.remaining = 0
+			done := f.queue[0]
+			f.queue = f.queue[1:]
+			delay := now - done.born
+			f.stats.Delivered++
+			if delay > period {
+				f.stats.Late++
+			}
+			if delay > f.stats.MaxDelay {
+				f.stats.MaxDelay = delay
+			}
+			if len(f.queue) > 0 {
+				f.remaining = f.Profile.BitsPerFrame
+			}
+		} else {
+			f.remaining -= budget
+			budget = 0
+		}
+	}
+}
+
+// Stats returns the session summary so far.
+func (f *FrameStreamer) Stats() FrameStats { return f.stats }

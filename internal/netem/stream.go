@@ -1,0 +1,118 @@
+// Package netem provides the traffic layer of the evaluation: an
+// iperf-equivalent bulk TCP stream measured over 50 ms windows (the §5.3
+// methodology), and a VR frame streamer that models the renderer→headset
+// video flow the link exists to carry.
+//
+// The package is deliberately decoupled from the optics: it consumes a
+// per-tick link verdict (up/down + line rate) and produces packet and
+// throughput accounting. The link-state dynamics (sensitivity threshold,
+// SFP re-lock) live in internal/link.
+package netem
+
+import (
+	"time"
+)
+
+// Window is one throughput measurement: average goodput over the window
+// starting at Start.
+type Window struct {
+	Start time.Duration
+	Gbps  float64
+}
+
+// Stream is a bulk-transfer (iperf-style) sender measured over fixed
+// windows. TCP dynamics are reduced to the one effect that shapes the
+// paper's plots: after an outage, goodput ramps back linearly over
+// RampTime (connection re-establishment + slow start) instead of stepping
+// instantly to full rate.
+type Stream struct {
+	// WindowLen is the measurement window (the paper uses 50 ms).
+	WindowLen time.Duration
+	// MTU is the packet payload size in bytes (1500 default).
+	MTU int
+	// RampTime is the time to return to full rate after an outage.
+	RampTime time.Duration
+
+	cur     time.Duration // current window start
+	bits    float64       // bits delivered in the current window
+	started bool
+	upAt    time.Duration // when the link last came up
+	wasUp   bool
+	packets int64
+	windows []Window
+}
+
+// NewStream builds a stream with the paper's measurement parameters.
+func NewStream() *Stream {
+	return &Stream{
+		WindowLen: 50 * time.Millisecond,
+		MTU:       1500,
+		RampTime:  150 * time.Millisecond,
+	}
+}
+
+// Tick advances the stream by tickLen at simulation time at: the link is
+// either up at lineRateGbps or down. Ticks must be fed in order and
+// aligned (at is the tick start).
+func (s *Stream) Tick(at, tickLen time.Duration, up bool, lineRateGbps float64) {
+	if !s.started {
+		s.started = true
+		s.cur = at
+		s.wasUp = up
+		s.upAt = at
+	}
+	// Window rollover (possibly multiple if ticks are coarse).
+	for at >= s.cur+s.WindowLen {
+		s.flushWindow()
+	}
+
+	if up && !s.wasUp {
+		s.upAt = at
+	}
+	s.wasUp = up
+
+	if up {
+		rate := lineRateGbps
+		if s.RampTime > 0 {
+			sinceUp := at - s.upAt
+			if sinceUp < s.RampTime {
+				rate *= float64(sinceUp) / float64(s.RampTime)
+			}
+		}
+		bits := rate * 1e9 * tickLen.Seconds()
+		s.bits += bits
+		s.packets += int64(bits / 8 / float64(s.MTU))
+	}
+}
+
+func (s *Stream) flushWindow() {
+	gbps := s.bits / 1e9 / s.WindowLen.Seconds()
+	s.windows = append(s.windows, Window{Start: s.cur, Gbps: gbps})
+	s.cur += s.WindowLen
+	s.bits = 0
+}
+
+// Finish returns all completed measurements. A partially filled trailing
+// window is discarded — averaging a fraction of a window against the full
+// window length would fabricate a throughput dip that never happened.
+func (s *Stream) Finish() []Window {
+	return s.windows
+}
+
+// Windows returns the completed measurement windows so far.
+func (s *Stream) Windows() []Window { return s.windows }
+
+// Packets returns the cumulative delivered packet count.
+func (s *Stream) Packets() int64 { return s.packets }
+
+// MeanGbps returns the average goodput across all completed windows.
+func (s *Stream) MeanGbps() float64 {
+	if len(s.windows) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, w := range s.windows {
+		sum += w.Gbps
+	}
+	return sum / float64(len(s.windows))
+}

@@ -1,0 +1,194 @@
+package optics
+
+import (
+	"math"
+	"testing"
+)
+
+// The tests in this file pin the calibration to the paper's Table 1 and
+// Fig 11: not exact values (our substrate is a simulator), but the shapes
+// and magnitudes that the paper's conclusions rest on.
+
+func TestTable1PeakPowers(t *testing.T) {
+	// Collimated ≈ +15 dBm, diverging 20 mm ≈ −10 dBm (Table 1).
+	col := Collimated10G.PeakReceivedPowerDBm()
+	div := Diverging10G.PeakReceivedPowerDBm()
+	if math.Abs(col-15) > 1.5 {
+		t.Errorf("collimated peak = %.2f dBm, want ≈15", col)
+	}
+	if math.Abs(div-(-10)) > 1.5 {
+		t.Errorf("diverging peak = %.2f dBm, want ≈-10", div)
+	}
+	// The defining trade-off: ~25 dB between the designs.
+	if gap := col - div; gap < 20 || gap > 30 {
+		t.Errorf("collimated-vs-diverging power gap = %.1f dB, want 20-30", gap)
+	}
+}
+
+func TestTable1AngularTolerances(t *testing.T) {
+	col := Collimated10G.Tolerances()
+	div := Diverging10G.Tolerances()
+
+	// Collimated: ~2 mrad both ends (paper: 2.00 / 2.28).
+	if m := ToMrad(col.TXAngular); m < 1.5 || m > 3 {
+		t.Errorf("collimated TX tolerance = %.2f mrad, want ≈2", m)
+	}
+	if m := ToMrad(col.RXAngular); m < 1.5 || m > 3 {
+		t.Errorf("collimated RX tolerance = %.2f mrad, want ≈2.3", m)
+	}
+	// Diverging: RX ≈ 5-6 mrad (paper 5.77), TX ≫ collimated (paper
+	// 15.81; our geometric model gives ~12).
+	if m := ToMrad(div.RXAngular); m < 4.5 || m > 7 {
+		t.Errorf("diverging RX tolerance = %.2f mrad, want ≈5.8", m)
+	}
+	if div.TXAngular < 4*col.TXAngular {
+		t.Errorf("diverging TX tolerance %.2f mrad not ≫ collimated %.2f mrad",
+			ToMrad(div.TXAngular), ToMrad(col.TXAngular))
+	}
+	if div.RXAngular < 2*col.RXAngular {
+		t.Errorf("diverging RX tolerance %.2f mrad not ≫ collimated %.2f mrad",
+			ToMrad(div.RXAngular), ToMrad(col.RXAngular))
+	}
+}
+
+func TestFig11RXToleranceGeneralShape(t *testing.T) {
+	// RX angular tolerance rises with beam diameter, peaks near 16 mm at
+	// ≈5.77 mrad, then falls as the shrinking margin wins.
+	var bestD, bestTol float64
+	var prev float64
+	for d := 6.0; d <= 26; d += 2 {
+		tol := Diverging10G.WithRXDiameter(MM(d)).RXAngularTolerance()
+		if tol > bestTol {
+			bestTol, bestD = tol, d
+		}
+		_ = prev
+		prev = tol
+	}
+	if bestD < 12 || bestD > 20 {
+		t.Errorf("RX tolerance peaks at %v mm, want near 16", bestD)
+	}
+	if m := ToMrad(bestTol); math.Abs(m-5.77) > 1.0 {
+		t.Errorf("peak RX tolerance = %.2f mrad, want ≈5.77", m)
+	}
+	// Rising before the peak, falling after.
+	lo := Diverging10G.WithRXDiameter(MM(8)).RXAngularTolerance()
+	hi := Diverging10G.WithRXDiameter(MM(24)).RXAngularTolerance()
+	if lo >= bestTol || hi >= bestTol {
+		t.Errorf("tolerance not unimodal: lo=%v peak=%v hi=%v", lo, bestTol, hi)
+	}
+}
+
+func TestFig11ChosenDesignIs16mm(t *testing.T) {
+	if Diverging10G16mm.RXBeamDiameter != MM(16) {
+		t.Errorf("chosen design diameter = %v", Diverging10G16mm.RXBeamDiameter)
+	}
+}
+
+func Test25GDesign(t *testing.T) {
+	r := Diverging25G.Tolerances()
+	// §5.3.1: RX angular ≈ 8.73 mrad (0.5°) — slightly better than the
+	// 10G design's; lateral ≈ 6 mm — markedly tighter than 10G because
+	// of the focal walk-off of the tight 25G receive chain.
+	if m := ToMrad(r.RXAngular); m < 7.5 || m > 10 {
+		t.Errorf("25G RX tolerance = %.2f mrad, want ≈8.73", m)
+	}
+	if r.RXAngular <= Diverging10G16mm.RXAngularTolerance() {
+		t.Error("25G RX tolerance should exceed 10G's (§5.3.1)")
+	}
+	if mm := ToMM(r.Lateral); mm < 4.5 || mm > 8 {
+		t.Errorf("25G lateral tolerance = %.1f mm, want ≈6", mm)
+	}
+	if r.Lateral >= Diverging10G16mm.LateralTolerance() {
+		t.Error("25G lateral tolerance should be tighter than 10G's")
+	}
+	// The 25G margin is smaller than 10G's (the SFP28's much worse
+	// link budget dominates any collimator improvement) — the §5.3.1
+	// challenge.
+	if Diverging25G.MarginDB() >= Diverging10G16mm.MarginDB() {
+		t.Errorf("25G margin %.1f should be below 10G margin %.1f",
+			Diverging25G.MarginDB(), Diverging10G16mm.MarginDB())
+	}
+}
+
+func TestReceivedPowerMonotonicity(t *testing.T) {
+	c := Diverging10G16mm
+	// Worse offset → less power.
+	p0 := c.ReceivedPowerDBm(Misalignment{Range: 1.75})
+	p1 := c.ReceivedPowerDBm(Misalignment{Range: 1.75, LateralOffset: MM(5)})
+	p2 := c.ReceivedPowerDBm(Misalignment{Range: 1.75, LateralOffset: MM(10)})
+	if !(p0 > p1 && p1 > p2) {
+		t.Errorf("power not monotone in offset: %v %v %v", p0, p1, p2)
+	}
+	// Worse incidence → less power.
+	q1 := c.ReceivedPowerDBm(Misalignment{Range: 1.75, IncidenceMismatch: Mrad(3)})
+	q2 := c.ReceivedPowerDBm(Misalignment{Range: 1.75, IncidenceMismatch: Mrad(6)})
+	if !(p0 > q1 && q1 > q2) {
+		t.Errorf("power not monotone in incidence: %v %v %v", p0, q1, q2)
+	}
+}
+
+func TestReceivedPowerDefaultRange(t *testing.T) {
+	c := Diverging10G16mm
+	got := c.ReceivedPowerDBm(Misalignment{})
+	want := c.ReceivedPowerDBm(Misalignment{Range: c.NominalRange})
+	almost(t, got, want, 1e-12, "zero range defaults to nominal")
+}
+
+func TestConnectedThreshold(t *testing.T) {
+	c := Diverging10G16mm
+	if !c.Connected(Misalignment{Range: 1.75}) {
+		t.Fatal("aligned link not connected")
+	}
+	// Far beyond tolerance must disconnect.
+	if c.Connected(Misalignment{Range: 1.75, IncidenceMismatch: Mrad(50)}) {
+		t.Error("grossly misaligned link still connected")
+	}
+}
+
+func TestToleranceConsistentWithConnected(t *testing.T) {
+	// Just inside the reported tolerance: connected. Just outside: not.
+	for _, c := range []LinkConfig{Collimated10G, Diverging10G, Diverging25G} {
+		tol := c.RXAngularTolerance()
+		if !c.Connected(Misalignment{Range: c.NominalRange, IncidenceMismatch: tol * 0.99}) {
+			t.Errorf("%s: inside RX tolerance not connected", c.Name)
+		}
+		if c.Connected(Misalignment{Range: c.NominalRange, IncidenceMismatch: tol * 1.01}) {
+			t.Errorf("%s: outside RX tolerance still connected", c.Name)
+		}
+	}
+}
+
+func TestLateralToleranceDivergingVsCollimated(t *testing.T) {
+	// For a collimated beam lateral movement only loses overlap (wide
+	// tolerance); for diverging the wavefront tilt shrinks it.
+	col := Collimated10G.LateralTolerance()
+	div := Diverging10G16mm.LateralTolerance()
+	if div >= col {
+		t.Errorf("diverging lateral tolerance %.1f mm ≥ collimated %.1f mm",
+			ToMM(div), ToMM(col))
+	}
+	// Both comfortably exceed the few-mm TP residual error (§5.2's
+	// "tolerances should be at least 2-4 mm").
+	if ToMM(div) < 4 {
+		t.Errorf("diverging lateral tolerance %.1f mm too small", ToMM(div))
+	}
+}
+
+func TestWithRXDiameterRenames(t *testing.T) {
+	c := Diverging10G.WithRXDiameter(MM(16))
+	if c.Name == Diverging10G.Name {
+		t.Error("WithRXDiameter did not rename the config")
+	}
+	if c.RXBeamDiameter != MM(16) {
+		t.Errorf("diameter = %v", c.RXBeamDiameter)
+	}
+}
+
+func TestBeamKindString(t *testing.T) {
+	if Collimated.String() != "collimated" || Diverging.String() != "diverging" {
+		t.Error("BeamKind strings")
+	}
+	if BeamKind(9).String() == "" {
+		t.Error("unknown BeamKind should still render")
+	}
+}

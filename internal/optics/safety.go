@@ -1,0 +1,113 @@
+package optics
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements the eye-safety analysis the paper leans on (§2.2,
+// §3, footnote 12): SFPs are Class 1 devices, 1550 nm light is absorbed in
+// the cornea rather than focused on the retina, and the EDFA's gain is
+// spent against coupling losses while the diverging beam spreads the power
+// over a growing aperture.
+//
+// The model follows IEC 60825-1's structure for a continuous-wave source
+// in the 1400–4000 nm "retina-safe" band: exposure is limited by corneal
+// irradiance averaged over a measurement aperture at the closest credible
+// viewing distance.
+
+// Class1AELmW1550 is the accessible emission limit for a CW Class 1
+// source at 1550 nm: 10 mW through the standard 3.5 mm measurement
+// aperture (IEC 60825-1 table values for t > 10 s in the 1400–1500+ nm
+// band).
+const Class1AELmW1550 = 10.0
+
+// MeasurementApertureRadius is the standard 3.5 mm-diameter measurement
+// aperture's radius, meters.
+const MeasurementApertureRadius = 1.75e-3
+
+// InstalledApproach is the closest credible eye position for a
+// ceiling-mounted transmitter during normal use: a tall standing user's
+// eyes sit ≈1.95 m up, leaving ≥0.8 m to a 2.75 m ceiling.
+const InstalledApproach = 0.8
+
+// SafetyReport summarizes the eye-safety evaluation of a link design at
+// two evaluation distances: IEC's standard 100 mm (anyone can reach the
+// aperture) and the installed ceiling geometry.
+type SafetyReport struct {
+	Design string
+	// LaunchPowerMW is the total optical power leaving the TX aperture
+	// (after the amplifier).
+	LaunchPowerMW float64
+	// At100mmMW and AtInstalledMW are the worst-case powers collectable
+	// through the 3.5 mm measurement aperture anywhere at or beyond the
+	// respective approach distance.
+	At100mmMW     float64
+	AtInstalledMW float64
+	// LimitMW is the applicable Class 1 AEL.
+	LimitMW float64
+}
+
+// Class1Installed reports whether the design is eye-safe in its installed
+// ceiling geometry — the footnote-12 claim.
+func (r SafetyReport) Class1Installed() bool { return r.AtInstalledMW <= r.LimitMW }
+
+// Class1At100mm reports Class 1 compliance at the standard bench
+// evaluation distance — what a bare (unenclosed) amplified unit would be
+// graded at.
+func (r SafetyReport) Class1At100mm() bool { return r.At100mmMW <= r.LimitMW }
+
+// MarginDB returns how far (dB) the installed-geometry exposure sits
+// below the limit; negative means over the limit.
+func (r SafetyReport) MarginDB() float64 {
+	if r.AtInstalledMW <= 0 {
+		return math.Inf(1)
+	}
+	return 10 * math.Log10(r.LimitMW/r.AtInstalledMW)
+}
+
+func (r SafetyReport) String() string {
+	verdict := "CLASS 1 as installed"
+	if !r.Class1Installed() {
+		verdict = "NOT Class 1 as installed"
+	}
+	note := ""
+	if !r.Class1At100mm() {
+		note = "; requires enclosure/interlock against 100 mm approach"
+	}
+	return fmt.Sprintf("%s: launch %.1f mW; through 3.5 mm aperture %.2f mW @100 mm, %.2f mW @%.1f m (limit %.0f mW, margin %.1f dB) — %s%s",
+		r.Design, r.LaunchPowerMW, r.At100mmMW, r.AtInstalledMW, InstalledApproach,
+		r.LimitMW, r.MarginDB(), verdict, note)
+}
+
+// EyeSafety evaluates the design. The launch power is the SFP's output
+// plus amplifier gain minus the fiber/collimator insertion that precedes
+// free space (we conservatively credit none of the divergence-dependent
+// coupling loss, which occurs at the receiver); each worst case scans the
+// beam from its approach distance outward.
+func (c LinkConfig) EyeSafety() SafetyReport {
+	r := SafetyReport{
+		Design:  c.Name,
+		LimitMW: Class1AELmW1550,
+	}
+	// Power in free space: SFP + amplifier, less only the pre-aperture
+	// fixed insertion (conservative: assume half the base insertion is
+	// before the aperture).
+	launchDBm := c.Transceiver.TxPowerDBm + c.Amp.GainDB - c.BaseInsertionDB/2
+	r.LaunchPowerMW = DBmToMilliwatt(launchDBm)
+
+	worstBeyond := func(minZ float64) float64 {
+		worst := 0.0
+		for z := minZ; z <= 3.0; z += 0.01 {
+			w := c.Beam().RadiusAt(z)
+			frac := CaptureFractionCentered(w, MeasurementApertureRadius)
+			if p := r.LaunchPowerMW * frac; p > worst {
+				worst = p
+			}
+		}
+		return worst
+	}
+	r.At100mmMW = worstBeyond(0.100)
+	r.AtInstalledMW = worstBeyond(InstalledApproach)
+	return r
+}

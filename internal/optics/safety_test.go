@@ -1,0 +1,79 @@
+package optics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestDivergingDesignsAreClass1(t *testing.T) {
+	// Footnote 12: the diverging designs stay eye-safe despite the
+	// amplifier, because the beam spreads and the coupling losses the
+	// amp compensates occur at capture.
+	for _, c := range []LinkConfig{Diverging10G, Diverging10G16mm, Diverging25G} {
+		r := c.EyeSafety()
+		if !r.Class1Installed() {
+			t.Errorf("%s not Class 1 as installed: %v", c.Name, r)
+		}
+		if r.MarginDB() < 0 {
+			t.Errorf("%s margin %.1f dB", c.Name, r.MarginDB())
+		}
+	}
+	// The amplified bare aperture would NOT pass at the 100 mm bench
+	// distance — the reason the prototype's amplifier sits behind the
+	// assembly's enclosure and the unit hangs from the ceiling.
+	if Diverging10G16mm.EyeSafety().Class1At100mm() {
+		t.Error("amplified diverging unit unexpectedly Class 1 at 100 mm")
+	}
+}
+
+func TestWorstCaseIsNearTheAperture(t *testing.T) {
+	// For a diverging beam the corneal exposure is worst at the closest
+	// approach and falls with distance.
+	c := Diverging10G16mm
+	near := c.Beam().RadiusAt(0.1)
+	far := c.Beam().RadiusAt(2.0)
+	fNear := CaptureFractionCentered(near, MeasurementApertureRadius)
+	fFar := CaptureFractionCentered(far, MeasurementApertureRadius)
+	if fFar >= fNear {
+		t.Errorf("aperture fraction did not fall with distance: %v vs %v", fNear, fFar)
+	}
+}
+
+func TestCollimatedBeamSaferPerMilliwatt(t *testing.T) {
+	// The 20 mm collimated beam puts a small fraction of its power
+	// through a 3.5 mm pupil at any distance.
+	r := Collimated10G.EyeSafety()
+	frac := r.AtInstalledMW / r.LaunchPowerMW
+	want := CaptureFractionCentered(MM(10), MeasurementApertureRadius)
+	if math.Abs(frac-want) > 0.01 {
+		t.Errorf("collimated aperture fraction = %v, want ≈%v", frac, want)
+	}
+}
+
+func TestSafetyReportString(t *testing.T) {
+	r := Diverging10G16mm.EyeSafety()
+	s := r.String()
+	if !strings.Contains(s, "CLASS 1") {
+		t.Errorf("report: %s", s)
+	}
+	if !strings.Contains(s, "enclosure") {
+		t.Errorf("report should flag the 100 mm caveat: %s", s)
+	}
+	// A pathological design reads as unsafe even installed.
+	hot := Diverging10G16mm
+	hot.Amp.GainDB = 60
+	if hot.EyeSafety().Class1Installed() {
+		t.Error("a 60 dB amplifier should not be Class 1")
+	}
+	if !strings.Contains(hot.EyeSafety().String(), "NOT Class 1") {
+		t.Error("unsafe report text")
+	}
+}
+
+func TestSafetyMarginInfiniteForZeroPower(t *testing.T) {
+	r := SafetyReport{LimitMW: 10}
+	if !math.IsInf(r.MarginDB(), 1) {
+		t.Error("zero exposure should have infinite margin")
+	}
+}

@@ -1,0 +1,112 @@
+package optics
+
+import "cyclops/internal/optimize"
+
+// This file computes the §5.1 link-tolerance metrics: the maximum movement
+// from the aligned position for which the link stays connected. Each probe
+// reduces a pure movement (TX rotation, RX rotation, RX translation) to the
+// Misalignment scalars it induces and bisects for the largest connected
+// movement.
+//
+// The reductions encode the optics of §5.1 and §3 footnote 1:
+//
+//   - Rotating the TX steers the beam axis: the intensity pattern at the
+//     receiver shifts by ≈ range·θ. For a *collimated* beam the ray
+//     direction rotates with the axis, so the arrival angle also changes by
+//     θ; for a *diverging* beam, rays passing through the (unmoved)
+//     aperture still come from the same origin, so the arrival angle is
+//     unchanged — only intensity is lost. This asymmetry is exactly why the
+//     diverging design tolerates ~8× more TX rotation (Table 1).
+//
+//   - Rotating the RX tilts the collimator axis away from the arriving
+//     rays: a pure incidence-angle mismatch, no intensity shift.
+//
+//   - Translating the RX laterally shifts the aperture off the beam axis;
+//     for a diverging (spherical) wavefront it additionally changes the
+//     local ray direction by ≈ d/range.
+
+// toleranceProbeTol is the bisection resolution: 1 µrad for angles,
+// 1 µm for translations — far below anything the link can resolve.
+const (
+	angleProbeTol  = 1e-6
+	lengthProbeTol = 1e-6
+)
+
+// txRotation returns the misalignment induced by rotating the transmitter
+// by theta from perfect alignment.
+func (c LinkConfig) txRotation(theta float64) Misalignment {
+	m := Misalignment{
+		Range:         c.NominalRange,
+		LateralOffset: c.NominalRange * theta,
+	}
+	if c.Kind == Collimated {
+		m.IncidenceMismatch = theta
+	}
+	return m
+}
+
+// rxRotation returns the misalignment induced by rotating the receiver
+// assembly by theta in place.
+func (c LinkConfig) rxRotation(theta float64) Misalignment {
+	return Misalignment{Range: c.NominalRange, IncidenceMismatch: theta}
+}
+
+// rxTranslation returns the misalignment induced by translating the
+// receiver laterally by d.
+func (c LinkConfig) rxTranslation(d float64) Misalignment {
+	m := Misalignment{Range: c.NominalRange, LateralOffset: d}
+	if c.Kind == Diverging {
+		m.IncidenceMismatch = d / c.NominalRange
+	}
+	return m
+}
+
+// TXAngularTolerance returns the maximum TX rotation (radians) from the
+// aligned position for which the link stays connected — the "TX Angular
+// Tolerance" row of Table 1.
+func (c LinkConfig) TXAngularTolerance() float64 {
+	return optimize.Bisect(func(th float64) bool {
+		return c.Connected(c.txRotation(th))
+	}, 0, 0.2, angleProbeTol)
+}
+
+// RXAngularTolerance returns the maximum RX rotation (radians) for which
+// the link stays connected — the "RX Angular Tolerance" row of Table 1 and
+// the quantity Fig 11 sweeps against beam diameter.
+func (c LinkConfig) RXAngularTolerance() float64 {
+	return optimize.Bisect(func(th float64) bool {
+		return c.Connected(c.rxRotation(th))
+	}, 0, 0.2, angleProbeTol)
+}
+
+// LateralTolerance returns the maximum lateral RX translation (meters) for
+// which the link stays connected. The paper reports ~6 mm for the 25G
+// design (§5.3.1) and notes lateral constraints are subsumed by angular
+// ones for the 10G design.
+func (c LinkConfig) LateralTolerance() float64 {
+	return optimize.Bisect(func(d float64) bool {
+		return c.Connected(c.rxTranslation(d))
+	}, 0, 0.5, lengthProbeTol)
+}
+
+// ToleranceReport bundles the Table 1 row set for one design.
+type ToleranceReport struct {
+	Config       string
+	TXAngular    float64 // radians
+	RXAngular    float64 // radians
+	Lateral      float64 // meters
+	PeakPowerDBm float64
+	MarginDB     float64
+}
+
+// Tolerances evaluates all tolerance metrics for the design.
+func (c LinkConfig) Tolerances() ToleranceReport {
+	return ToleranceReport{
+		Config:       c.Name,
+		TXAngular:    c.TXAngularTolerance(),
+		RXAngular:    c.RXAngularTolerance(),
+		Lateral:      c.LateralTolerance(),
+		PeakPowerDBm: c.PeakReceivedPowerDBm(),
+		MarginDB:     c.MarginDB(),
+	}
+}

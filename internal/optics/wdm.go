@@ -1,0 +1,117 @@
+package optics
+
+import "fmt"
+
+// This file models the §6 future-work analysis: extending Cyclops past
+// 40 Gbps. The TP mechanism is unchanged — the paper's point — but
+// high-rate single-strand transceivers (QSFP+/QSFP28 [12, 13]) multiplex
+// several wavelengths on one fiber, and a collimator optimized for a
+// single wavelength captures the others with a chromatic penalty. §6:
+// "the link would likely need customized collimators that can efficiently
+// capture a range of wavelengths".
+
+// WDMLane is one wavelength of a multiplexed transceiver.
+type WDMLane struct {
+	WavelengthNM float64
+	RateGbps     float64
+}
+
+// WDMConfig is a multi-wavelength link: a base single-lane design plus
+// the lane plan and the receive optics' chromatic behavior.
+type WDMConfig struct {
+	Name string
+	// Base carries the per-lane radiometry (the 25G-class diverging
+	// design, one lane's power budget).
+	Base LinkConfig
+	// Lanes is the wavelength plan (e.g. LAN-WDM 1295–1310 nm ×4).
+	Lanes []WDMLane
+	// CenterNM is the wavelength the receive collimator is optimized
+	// for.
+	CenterNM float64
+	// ChromaticLossDBPerNM is the extra coupling loss per nm of offset
+	// from CenterNM — the penalty a narrowband-optimized collimator
+	// charges the outer lanes. A custom achromatic collimator makes it
+	// ~0.
+	ChromaticLossDBPerNM float64
+}
+
+// LaneReport is the §6 analysis for one wavelength.
+type LaneReport struct {
+	Lane        WDMLane
+	PenaltyDB   float64
+	PeakDBm     float64
+	Operational bool
+}
+
+// WDMReport aggregates the lane analyses.
+type WDMReport struct {
+	Config           string
+	Lanes            []LaneReport
+	OperationalLanes int
+	AggregateGbps    float64
+}
+
+func (r WDMReport) String() string {
+	return fmt.Sprintf("%s: %d/%d lanes operational, aggregate %.0f Gbps",
+		r.Config, r.OperationalLanes, len(r.Lanes), r.AggregateGbps)
+}
+
+// Evaluate computes, per lane, the chromatic penalty and whether the lane
+// closes its link budget at perfect alignment.
+func (c WDMConfig) Evaluate() WDMReport {
+	r := WDMReport{Config: c.Name}
+	for _, lane := range c.Lanes {
+		offset := lane.WavelengthNM - c.CenterNM
+		if offset < 0 {
+			offset = -offset
+		}
+		penalty := c.ChromaticLossDBPerNM * offset
+		peak := c.Base.PeakReceivedPowerDBm() - penalty
+		op := peak >= c.Base.Transceiver.SensitivityDBm
+		r.Lanes = append(r.Lanes, LaneReport{
+			Lane:        lane,
+			PenaltyDB:   penalty,
+			PeakDBm:     peak,
+			Operational: op,
+		})
+		if op {
+			r.OperationalLanes++
+			r.AggregateGbps += lane.RateGbps
+		}
+	}
+	return r
+}
+
+// lan4x10 is the 4×10G LAN-WDM plan of a QSFP+ LR4 (1295.56, 1300.05,
+// 1304.58, 1309.14 nm).
+func lan4x10() []WDMLane {
+	return []WDMLane{
+		{WavelengthNM: 1295.56, RateGbps: 10.3},
+		{WavelengthNM: 1300.05, RateGbps: 10.3},
+		{WavelengthNM: 1304.58, RateGbps: 10.3},
+		{WavelengthNM: 1309.14, RateGbps: 10.3},
+	}
+}
+
+// WDM40GStandard is the §6 failure case: a 4×10G transceiver behind the
+// prototype's narrowband-optimized diverging-beam collimator. The outer
+// lanes pay several dB of chromatic penalty against a ~12 dB margin and
+// some fail to close.
+var WDM40GStandard = WDMConfig{
+	Name:                 "40G WDM, standard collimator",
+	Base:                 Diverging25G,
+	Lanes:                lan4x10(),
+	CenterNM:             1302.3,
+	ChromaticLossDBPerNM: 2.0,
+}
+
+// WDM40GCustom is the §6 remedy: a custom achromatic collimator flattens
+// the chromatic response; every lane closes and the TP mechanism carries
+// over unchanged.
+var WDM40GCustom = WDMConfig{
+	Name:                 "40G WDM, custom achromatic collimator",
+	Base:                 Diverging25G,
+	Lanes:                lan4x10(),
+	CenterNM:             1302.3,
+	ChromaticLossDBPerNM: 0.1,
+}

@@ -1,0 +1,48 @@
+package optics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWDMStandardCollimatorLosesLanes(t *testing.T) {
+	r := WDM40GStandard.Evaluate()
+	if r.OperationalLanes >= len(r.Lanes) {
+		t.Errorf("standard collimator closed all %d lanes — the §6 problem vanished", len(r.Lanes))
+	}
+	if r.OperationalLanes == 0 {
+		t.Error("standard collimator closed no lanes — too pessimistic")
+	}
+	// The center lanes survive; the outer lanes pay the penalty.
+	for _, l := range r.Lanes {
+		if l.PenaltyDB < 0 {
+			t.Errorf("negative penalty %v", l.PenaltyDB)
+		}
+	}
+	inner := r.Lanes[1].PenaltyDB
+	outer := r.Lanes[0].PenaltyDB
+	if outer <= inner {
+		t.Errorf("outer lane penalty %.1f not above inner %.1f", outer, inner)
+	}
+}
+
+func TestWDMCustomCollimatorClosesAllLanes(t *testing.T) {
+	r := WDM40GCustom.Evaluate()
+	if r.OperationalLanes != len(r.Lanes) {
+		t.Errorf("custom collimator closed %d/%d lanes", r.OperationalLanes, len(r.Lanes))
+	}
+	if r.AggregateGbps < 40 {
+		t.Errorf("aggregate %.0f Gbps, want ≥40", r.AggregateGbps)
+	}
+	if !strings.Contains(r.String(), "4/4") {
+		t.Errorf("report: %s", r.String())
+	}
+}
+
+func TestWDMCustomBeatsStandard(t *testing.T) {
+	std := WDM40GStandard.Evaluate()
+	custom := WDM40GCustom.Evaluate()
+	if custom.AggregateGbps <= std.AggregateGbps {
+		t.Errorf("custom %.0f Gbps not above standard %.0f", custom.AggregateGbps, std.AggregateGbps)
+	}
+}

@@ -1,0 +1,152 @@
+package optimize
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestLMLinearFit(t *testing.T) {
+	// Fit y = a·x + b to exact data.
+	xs := []float64{0, 1, 2, 3, 4, 5}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 2.5*x - 1.25
+	}
+	f := func(p, out []float64) {
+		for i, x := range xs {
+			out[i] = p[0]*x + p[1] - ys[i]
+		}
+	}
+	res, err := LeastSquares(f, []float64{0, 0}, len(xs), LMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-2.5) > 1e-6 || math.Abs(res.X[1]+1.25) > 1e-6 {
+		t.Errorf("fit = %v, want [2.5 -1.25]", res.X)
+	}
+	if res.RMSE > 1e-6 {
+		t.Errorf("RMSE = %g", res.RMSE)
+	}
+}
+
+func TestLMRosenbrockResiduals(t *testing.T) {
+	// Rosenbrock as least squares: r1 = 10(y - x²), r2 = 1 - x.
+	f := func(p, out []float64) {
+		out[0] = 10 * (p[1] - p[0]*p[0])
+		out[1] = 1 - p[0]
+	}
+	res, err := LeastSquares(f, []float64{-1.2, 1}, 2, LMOptions{MaxIter: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-1) > 1e-5 || math.Abs(res.X[1]-1) > 1e-5 {
+		t.Errorf("Rosenbrock min = %v, want [1 1] (%s)", res.X, res.Reason)
+	}
+}
+
+func TestLMExponentialFitWithNoise(t *testing.T) {
+	// Fit y = a·exp(b·x) with noisy samples; recover parameters roughly.
+	rng := rand.New(rand.NewSource(1))
+	const a, b = 3.0, -0.7
+	xs := make([]float64, 50)
+	ys := make([]float64, 50)
+	for i := range xs {
+		xs[i] = float64(i) * 0.1
+		ys[i] = a*math.Exp(b*xs[i]) + rng.NormFloat64()*0.01
+	}
+	f := func(p, out []float64) {
+		for i := range xs {
+			out[i] = p[0]*math.Exp(p[1]*xs[i]) - ys[i]
+		}
+	}
+	res, err := LeastSquares(f, []float64{1, 0}, len(xs), LMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-a) > 0.05 || math.Abs(res.X[1]-b) > 0.05 {
+		t.Errorf("fit = %v, want [%v %v]", res.X, a, b)
+	}
+}
+
+func TestLMCostMonotone(t *testing.T) {
+	// The accepted cost never exceeds the starting cost.
+	f := func(p, out []float64) {
+		out[0] = p[0]*p[0] - 2
+		out[1] = p[0] + p[1]*p[1] - 3
+	}
+	start := []float64{5, 5}
+	r0 := make([]float64, 2)
+	f(start, r0)
+	cost0 := half2(r0)
+	res, err := LeastSquares(f, start, 2, LMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost > cost0 {
+		t.Errorf("final cost %g exceeds initial %g", res.Cost, cost0)
+	}
+}
+
+func TestLMBadProblem(t *testing.T) {
+	f := func(p, out []float64) {}
+	if _, err := LeastSquares(f, nil, 3, LMOptions{}); err == nil {
+		t.Error("empty x0 accepted")
+	}
+	if _, err := LeastSquares(f, []float64{1}, 0, LMOptions{}); err == nil {
+		t.Error("zero residuals accepted")
+	}
+	nan := func(p, out []float64) { out[0] = math.NaN() }
+	if _, err := LeastSquares(nan, []float64{1}, 1, LMOptions{}); err == nil {
+		t.Error("NaN residuals at start accepted")
+	}
+}
+
+func TestLMDoesNotModifyX0(t *testing.T) {
+	f := func(p, out []float64) { out[0] = p[0] - 7 }
+	x0 := []float64{0}
+	if _, err := LeastSquares(f, x0, 1, LMOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if x0[0] != 0 {
+		t.Errorf("x0 modified to %v", x0)
+	}
+}
+
+func TestSolveInPlace(t *testing.T) {
+	a := [][]float64{
+		{2, 1, -1},
+		{-3, -1, 2},
+		{-2, 1, 2},
+	}
+	b := []float64{8, -11, -3}
+	if err := solveInPlace(a, b); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if math.Abs(b[i]-want[i]) > 1e-9 {
+			t.Errorf("x[%d] = %v, want %v", i, b[i], want[i])
+		}
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := [][]float64{{1, 2}, {2, 4}}
+	b := []float64{1, 2}
+	if err := solveInPlace(a, b); err == nil {
+		t.Error("singular system solved without error")
+	}
+}
+
+func TestSolveNeedsPivoting(t *testing.T) {
+	// Zero on the initial diagonal forces a row swap.
+	a := [][]float64{{0, 1}, {1, 0}}
+	b := []float64{3, 5}
+	if err := solveInPlace(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b[0]-5) > 1e-12 || math.Abs(b[1]-3) > 1e-12 {
+		t.Errorf("solution = %v, want [5 3]", b)
+	}
+}

@@ -1,0 +1,190 @@
+// Package pointing implements the real-time half of Cyclops's TP mechanism
+// (§4.3): the reverse GMA function G′ (target point → mirror voltages) and
+// the pointing function P (VRH position → the four voltages that align the
+// beam), both built purely on evaluations of learned GMA models — no
+// additional training and no power feedback.
+package pointing
+
+import (
+	"errors"
+	"fmt"
+
+	"cyclops/internal/geom"
+	"cyclops/internal/gma"
+)
+
+// GPrimeOptions tunes the G′ iteration.
+type GPrimeOptions struct {
+	// Epsilon is the voltage probe step for the local linear model
+	// (default 0.01 V).
+	Epsilon float64
+	// Tol is the convergence threshold on the voltage update magnitude;
+	// the paper stops at the minimum GM voltage step (default 0.3 mV,
+	// the USB-1608G step).
+	Tol float64
+	// MaxIter bounds the iteration (default 25; the paper observes
+	// convergence in 2–4).
+	MaxIter int
+	// MaxStep caps the per-iteration voltage change (default 3 V): a
+	// trust region that keeps a locally linear step from swinging the
+	// mirrors so far that the modeled beam leaves its own assembly.
+	MaxStep float64
+	// VoltLimit caps the absolute commandable voltage (default 12 V,
+	// slightly beyond the DAQ's ±10 V so the iteration can overshoot
+	// and come back).
+	VoltLimit float64
+}
+
+func (o *GPrimeOptions) defaults() {
+	if o.Epsilon <= 0 {
+		o.Epsilon = 0.01
+	}
+	if o.Tol <= 0 {
+		o.Tol = 0.3e-3
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 25
+	}
+	if o.MaxStep <= 0 {
+		o.MaxStep = 3
+	}
+	if o.VoltLimit <= 0 {
+		o.VoltLimit = 12
+	}
+}
+
+// ErrNoConverge is returned when an iteration exhausts MaxIter without the
+// update falling below tolerance.
+var ErrNoConverge = errors.New("pointing: iteration did not converge")
+
+// GPrime computes G′(τ): the voltages that make the model's output beam
+// pass through the target point tau, starting from (v1, v2). It returns
+// the voltages and the number of iterations used.
+//
+// Each step follows §4.3 exactly: evaluate G at (v1,v2), (v1+ε,v2),
+// (v1,v2+ε); intersect the three beams with the plane P through τ
+// perpendicular to the current beam; express the miss vector in the basis
+// of the two per-ε beam displacements; and take the implied linear step.
+func GPrime(model gma.Params, tau geom.Vec3, v1, v2 float64, opts GPrimeOptions) (float64, float64, int, error) {
+	opts.defaults()
+
+	// Cold-start guard: Newton's local linearization is only trustworthy
+	// when the beam already passes reasonably near the target. If the
+	// starting beam misses by decimeters (a cold start in an arbitrarily
+	// rotated VR frame), seed the iteration with a coarse scan of the
+	// voltage grid — 81 model evaluations, microseconds.
+	if b, err := model.Beam(v1, v2); err != nil || b.DistanceTo(tau) > 0.1 {
+		if cv1, cv2, ok := coarseSeed(model, tau, opts.VoltLimit); ok {
+			v1, v2 = cv1, cv2
+		}
+	}
+
+	var lastStep1, lastStep2 float64
+	for iter := 1; iter <= opts.MaxIter; iter++ {
+		b0, err := model.Beam(v1, v2)
+		if err != nil {
+			// The last step carried the beam outside its own
+			// assembly's geometry — back off half of it and retry.
+			if lastStep1 != 0 || lastStep2 != 0 {
+				v1 -= lastStep1 / 2
+				v2 -= lastStep2 / 2
+				lastStep1 /= 2
+				lastStep2 /= 2
+				continue
+			}
+			return v1, v2, iter, fmt.Errorf("pointing: %w", err)
+		}
+		b1, err := model.Beam(v1+opts.Epsilon, v2)
+		if err != nil {
+			return v1, v2, iter, fmt.Errorf("pointing: %w", err)
+		}
+		b2, err := model.Beam(v1, v2+opts.Epsilon)
+		if err != nil {
+			return v1, v2, iter, fmt.Errorf("pointing: %w", err)
+		}
+
+		// Plane through τ perpendicular to the current beam direction.
+		plane := geom.NewPlane(tau, b0.Dir)
+		k0, _, err := plane.IntersectLine(b0)
+		if err != nil {
+			return v1, v2, iter, fmt.Errorf("pointing: beam parallel to target plane: %w", err)
+		}
+		k1, _, err1 := plane.IntersectLine(b1)
+		k2, _, err2 := plane.IntersectLine(b2)
+		if err1 != nil || err2 != nil {
+			return v1, v2, iter, fmt.Errorf("pointing: probe beam parallel to target plane")
+		}
+
+		// Per-ε displacement vectors on the plane, and the miss vector.
+		u1 := k1.Sub(k0)
+		u2 := k2.Sub(k0)
+		miss := tau.Sub(k0)
+
+		// Solve miss ≈ a·u1 + b·u2 in the least-squares sense (2×2
+		// normal equations on the plane).
+		g11 := u1.Dot(u1)
+		g12 := u1.Dot(u2)
+		g22 := u2.Dot(u2)
+		det := g11*g22 - g12*g12
+		if det <= 1e-30 {
+			return v1, v2, iter, fmt.Errorf("pointing: degenerate steering basis")
+		}
+		r1 := miss.Dot(u1)
+		r2 := miss.Dot(u2)
+		a := (g22*r1 - g12*r2) / det
+		b := (g11*r2 - g12*r1) / det
+
+		s1 := clampAbs(a*opts.Epsilon, opts.MaxStep)
+		s2 := clampAbs(b*opts.Epsilon, opts.MaxStep)
+		v1 = clampAbs(v1+s1, opts.VoltLimit)
+		v2 = clampAbs(v2+s2, opts.VoltLimit)
+		lastStep1, lastStep2 = s1, s2
+
+		if abs(s1) < opts.Tol && abs(s2) < opts.Tol {
+			return v1, v2, iter, nil
+		}
+	}
+	return v1, v2, opts.MaxIter, ErrNoConverge
+}
+
+func clampAbs(v, limit float64) float64 {
+	if v > limit {
+		return limit
+	}
+	if v < -limit {
+		return -limit
+	}
+	return v
+}
+
+// coarseSeed scans a 9×9 voltage grid over ±0.8·limit and returns the pair
+// whose beam passes closest to tau, or ok=false if no grid point produces
+// a valid beam.
+func coarseSeed(model gma.Params, tau geom.Vec3, limit float64) (float64, float64, bool) {
+	const n = 9
+	span := 0.8 * limit
+	best1, best2 := 0.0, 0.0
+	bestD := -1.0
+	for i := 0; i < n; i++ {
+		v1 := -span + 2*span*float64(i)/(n-1)
+		for j := 0; j < n; j++ {
+			v2 := -span + 2*span*float64(j)/(n-1)
+			b, err := model.Beam(v1, v2)
+			if err != nil {
+				continue
+			}
+			d := b.DistanceTo(tau)
+			if bestD < 0 || d < bestD {
+				bestD, best1, best2 = d, v1, v2
+			}
+		}
+	}
+	return best1, best2, bestD >= 0
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,148 @@
+package pointing
+
+import (
+	"fmt"
+
+	"cyclops/internal/geom"
+	"cyclops/internal/gma"
+)
+
+// Voltages are the four GM drive values of the pointing function
+// P(Ψ) = ⟨v_tx1, v_tx2, v_rx1, v_rx2⟩.
+type Voltages struct {
+	TX1, TX2 float64
+	RX1, RX2 float64
+}
+
+// PointOptions tunes the pointing fixed-point iteration.
+type PointOptions struct {
+	// Tol is the stop threshold on the largest voltage change per round;
+	// the paper uses the minimum GM voltage step (default 0.3 mV).
+	Tol float64
+	// MaxIter bounds the outer iteration (default 25; the paper observes
+	// 2–5 rounds).
+	MaxIter int
+	// GPrime configures the inner G′ solves.
+	GPrime GPrimeOptions
+}
+
+func (o *PointOptions) defaults() {
+	if o.Tol <= 0 {
+		o.Tol = 0.3e-3
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 25
+	}
+}
+
+// Result reports a pointing solve.
+type Result struct {
+	V Voltages
+	// Iterations is the number of outer fixed-point rounds.
+	Iterations int
+	// GPrimeIterations is the total inner G′ iterations across both
+	// terminals and all rounds.
+	GPrimeIterations int
+	// Residual is the final coincidence error d(p_t,τ_r)+d(p_r,τ_t)
+	// implied by the models, meters.
+	Residual float64
+}
+
+// Point computes P for one VRH position: given the TX-GMA and RX-GMA
+// models expressed in a common frame (VR-space; the caller applies the
+// learned §4.2 mappings and the current tracking report), find the four
+// voltages that align the beam.
+//
+// It runs the §4.3 fixed-point loop over Lemma 1's coincidence condition:
+// each terminal's beam origin is the other terminal's target, solved with
+// G′, until the voltages stop moving.
+func Point(gt, gr gma.Params, start Voltages, opts PointOptions) (Result, error) {
+	opts.defaults()
+	v := start
+	res := Result{V: v}
+
+	for iter := 1; iter <= opts.MaxIter; iter++ {
+		res.Iterations = iter
+
+		bt, err := gt.Beam(v.TX1, v.TX2)
+		if err != nil {
+			return res, fmt.Errorf("pointing: TX model: %w", err)
+		}
+		br, err := gr.Beam(v.RX1, v.RX2)
+		if err != nil {
+			return res, fmt.Errorf("pointing: RX model: %w", err)
+		}
+
+		// Each origin becomes the other terminal's target point.
+		nt1, nt2, it, err := GPrime(gt, br.Origin, v.TX1, v.TX2, opts.GPrime)
+		res.GPrimeIterations += it
+		if err != nil {
+			return res, fmt.Errorf("pointing: G'_T: %w", err)
+		}
+		nr1, nr2, ir, err := GPrime(gr, bt.Origin, v.RX1, v.RX2, opts.GPrime)
+		res.GPrimeIterations += ir
+		if err != nil {
+			return res, fmt.Errorf("pointing: G'_R: %w", err)
+		}
+
+		delta := max4(abs(nt1-v.TX1), abs(nt2-v.TX2), abs(nr1-v.RX1), abs(nr2-v.RX2))
+		v = Voltages{TX1: nt1, TX2: nt2, RX1: nr1, RX2: nr2}
+		if delta < opts.Tol {
+			res.V = v
+			res.Residual = coincidenceResidual(gt, gr, v)
+			return res, nil
+		}
+	}
+	res.V = v
+	res.Residual = coincidenceResidual(gt, gr, v)
+	return res, ErrNoConverge
+}
+
+// coincidenceResidual evaluates the Lemma 1 error d(p_t, τ_r) + d(p_r, τ_t)
+// for the given models and voltages: each beam should pass through the
+// other's origin.
+func coincidenceResidual(gt, gr gma.Params, v Voltages) float64 {
+	bt, err1 := gt.Beam(v.TX1, v.TX2)
+	br, err2 := gr.Beam(v.RX1, v.RX2)
+	if err1 != nil || err2 != nil {
+		return -1
+	}
+	// τ_r is where the RX (imaginary) beam meets the TX origin's
+	// neighborhood and vice versa; measured as each beam's distance of
+	// closest approach to the other's origin.
+	return bt.DistanceTo(br.Origin) + br.DistanceTo(bt.Origin)
+}
+
+// CoincidenceResidual is the exported form used by tests and the
+// calibration error analysis.
+func CoincidenceResidual(gt, gr gma.Params, v Voltages) float64 {
+	return coincidenceResidual(gt, gr, v)
+}
+
+// InVRSpace places a K-space GMA model into VR-space. For the TX terminal
+// the mapping is the fixed learned pose M_tx; for the RX terminal the
+// K-space rides on the headset, so the mapping composes the current
+// tracking report Ψ with the learned relative pose M_rx (§4.2 footnote 8).
+func InVRSpace(kspaceModel gma.Params, mapping geom.Pose) gma.Params {
+	return kspaceModel.Transformed(mapping)
+}
+
+// RXInVRSpace maps the RX K-space model into VR-space for the tracking
+// report psi: K-space → tracked frame (learned M_rx) → VR-space (Ψ).
+func RXInVRSpace(kspaceModel gma.Params, mrx geom.Pose, psi geom.Pose) gma.Params {
+	return kspaceModel.Transformed(psi.Compose(mrx))
+}
+
+func max4(a, b, c, d float64) float64 {
+	m := a
+	if b > m {
+		m = b
+	}
+	if c > m {
+		m = c
+	}
+	if d > m {
+		m = d
+	}
+	return m
+}

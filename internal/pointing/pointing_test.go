@@ -1,0 +1,192 @@
+package pointing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cyclops/internal/geom"
+	"cyclops/internal/gma"
+)
+
+// fixture builds a TX model at the world origin (beam exiting +Z) and an
+// RX model 1.75 m away facing back down at it — the ceiling-to-headset
+// geometry flipped into a convenient frame.
+func fixture(seed int64) (gt, gr gma.Params) {
+	rng := rand.New(rand.NewSource(seed))
+	gt = gma.Perturbed(rng)
+	rxMount := geom.NewPose(
+		geom.QuatFromAxisAngle(geom.V(0, 1, 0), math.Pi),
+		geom.V(0.25, 0.15, 1.75),
+	)
+	gr = gma.Perturbed(rng).Transformed(rxMount)
+	return gt, gr
+}
+
+func TestGPrimeHitsTarget(t *testing.T) {
+	gt, _ := fixture(1)
+	targets := []geom.Vec3{
+		{X: 0.1, Y: 0.05, Z: 1.5},
+		{X: -0.2, Y: 0.1, Z: 1.75},
+		{X: 0, Y: 0, Z: 2.0},
+		{X: 0.3, Y: -0.25, Z: 1.6},
+	}
+	for _, tau := range targets {
+		v1, v2, iters, err := GPrime(gt, tau, 0, 0, GPrimeOptions{})
+		if err != nil {
+			t.Fatalf("target %v: %v", tau, err)
+		}
+		beam, err := gt.Beam(v1, v2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := beam.DistanceTo(tau); d > 1e-4 {
+			t.Errorf("target %v: beam misses by %v m", tau, d)
+		}
+		if iters > 8 {
+			t.Errorf("target %v: %d iterations, want ≤8", tau, iters)
+		}
+	}
+}
+
+func TestGPrimeConvergesFast(t *testing.T) {
+	// The paper observes 2–4 iterations. Cold starts from zero across a
+	// spread of targets should average in that range.
+	gt, _ := fixture(2)
+	rng := rand.New(rand.NewSource(3))
+	var total, n int
+	for i := 0; i < 50; i++ {
+		tau := geom.V(rng.Float64()*0.6-0.3, rng.Float64()*0.6-0.3, 1.5+rng.Float64()*0.5)
+		_, _, iters, err := GPrime(gt, tau, 0, 0, GPrimeOptions{})
+		if err != nil {
+			continue
+		}
+		total += iters
+		n++
+	}
+	if n < 45 {
+		t.Fatalf("only %d/50 targets solved", n)
+	}
+	avg := float64(total) / float64(n)
+	if avg < 1.5 || avg > 6 {
+		t.Errorf("average G' iterations = %.1f, paper observes 2-4", avg)
+	}
+}
+
+func TestGPrimeWarmStart(t *testing.T) {
+	// Warm starts (the real-time loop's previous voltages) converge at
+	// least as fast as cold starts.
+	gt, _ := fixture(4)
+	tau := geom.V(0.1, 0.1, 1.7)
+	v1, v2, _, err := GPrime(gt, tau, 0, 0, GPrimeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tau2 := tau.Add(geom.V(0.005, -0.003, 0))
+	_, _, warm, err := GPrime(gt, tau2, v1, v2, GPrimeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, cold, err := GPrime(gt, tau2, 0, 0, GPrimeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm > cold {
+		t.Errorf("warm start took %d iters vs cold %d", warm, cold)
+	}
+}
+
+func TestPointAlignsBeams(t *testing.T) {
+	gt, gr := fixture(5)
+	res, err := Point(gt, gr, Voltages{}, PointOptions{})
+	if err != nil {
+		t.Fatalf("point failed after %d iters: %v", res.Iterations, err)
+	}
+	// Lemma 1 coincidence: each beam passes through the other's origin
+	// to sub-millimeter precision.
+	if res.Residual > 1e-3 {
+		t.Errorf("coincidence residual = %v m", res.Residual)
+	}
+	bt, _ := gt.Beam(res.V.TX1, res.V.TX2)
+	br, _ := gr.Beam(res.V.RX1, res.V.RX2)
+	if d := bt.DistanceTo(br.Origin); d > 1e-3 {
+		t.Errorf("TX beam misses RX capture point by %v", d)
+	}
+	if d := br.DistanceTo(bt.Origin); d > 1e-3 {
+		t.Errorf("RX reverse beam misses TX origin by %v", d)
+	}
+	// And the two beams are anti-parallel (the light retraces the
+	// imaginary beam).
+	if ang := bt.Dir.AngleTo(br.Dir.Neg()); ang > 2e-3 {
+		t.Errorf("beams not anti-parallel: %v rad", ang)
+	}
+}
+
+func TestPointIterationCount(t *testing.T) {
+	// §4.3: P converges in 2–5 outer iterations.
+	var total, n int
+	for seed := int64(10); seed < 40; seed++ {
+		gt, gr := fixture(seed)
+		res, err := Point(gt, gr, Voltages{}, PointOptions{})
+		if err != nil {
+			continue
+		}
+		total += res.Iterations
+		n++
+	}
+	if n < 25 {
+		t.Fatalf("only %d/30 fixtures solved", n)
+	}
+	avg := float64(total) / float64(n)
+	if avg < 1.5 || avg > 7 {
+		t.Errorf("average P iterations = %.1f, paper observes 2-5", avg)
+	}
+}
+
+func TestPointWarmStartFewerIterations(t *testing.T) {
+	gt, gr := fixture(6)
+	cold, err := Point(gt, gr, Voltages{}, PointOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Move the RX a few millimeters (one tracking interval of motion)
+	// and re-point from the previous solution.
+	gr2 := gr.Transformed(geom.NewPose(geom.QuatIdentity(), geom.V(0.004, -0.002, 0.001)))
+	warm, err := Point(gt, gr2, cold.V, PointOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Iterations > cold.Iterations {
+		t.Errorf("warm start %d iters vs cold %d", warm.Iterations, cold.Iterations)
+	}
+}
+
+func TestRXInVRSpaceComposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	k := gma.Perturbed(rng)
+	mrx := geom.NewPose(geom.QuatFromAxisAngle(geom.V(1, 0, 0), 0.2), geom.V(0.05, 0.02, 0.01))
+	psi := geom.NewPose(geom.QuatFromAxisAngle(geom.V(0, 1, 0), 1.0), geom.V(1, 1.5, 2))
+	got := RXInVRSpace(k, mrx, psi)
+	want := k.Transformed(psi.Compose(mrx))
+	if got != want {
+		t.Error("RXInVRSpace composition mismatch")
+	}
+}
+
+func TestCoincidenceResidualZeroAtAlignment(t *testing.T) {
+	gt, gr := fixture(8)
+	res, err := Point(gt, gr, Voltages{}, PointOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := CoincidenceResidual(gt, gr, res.V)
+	if r < 0 || r > 1e-3 {
+		t.Errorf("residual at alignment = %v", r)
+	}
+	// A detuned voltage set has a visibly larger residual.
+	detuned := res.V
+	detuned.TX1 += 0.05
+	if CoincidenceResidual(gt, gr, detuned) < 10*r {
+		t.Error("residual not sensitive to detuning")
+	}
+}

@@ -1,0 +1,225 @@
+// Package sim implements the §5.4 trace-driven availability simulation:
+// the paper's own methodology for evaluating the 25 Gbps prototype against
+// 500 one-minute head-motion traces without wearing the (too bulky) rig.
+//
+// The model divides time into 1 ms slots. Whenever a head position report
+// arrives (every ~10 ms in the dataset), the TP mechanism realigns within
+// the realignment latency, leaving the link with the TP residual error;
+// between reports the terminal drifts laterally and angularly at the rate
+// implied by consecutive reports. A slot is disconnected when the total
+// lateral or angular offset exceeds the link's movement tolerance.
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"cyclops/internal/trace"
+)
+
+// AvailabilityParams are the §5.4 simulation constants.
+type AvailabilityParams struct {
+	// Slot is the simulation timeslot (1 ms in the paper).
+	Slot time.Duration
+	// RealignLatency is the TP latency after each report (1–2 ms; the
+	// paper's simulation uses the upper end conservatively).
+	RealignLatency time.Duration
+	// LateralTolerance and AngularTolerance are the link's movement
+	// tolerances (6 mm / 8.73 mrad for the 25G design).
+	LateralTolerance float64 // meters
+	AngularTolerance float64 // radians
+	// TPLateralError and TPAngularError are the residual misalignments
+	// right after a realignment (the combined model errors of Table 2:
+	// 4.54 mm lateral, 4.54 mm over the 1.75 m link ≈ 2.6 mrad angular).
+	TPLateralError float64 // meters
+	TPAngularError float64 // radians
+}
+
+// Paper25G returns the §5.4 constants exactly as the paper states them:
+// 8.73 mrad / 6 mm tolerances, TP error 4.54 mm and 4.54/1750 rad, 1–2 ms
+// realignment (we use 2 ms).
+func Paper25G() AvailabilityParams {
+	return AvailabilityParams{
+		Slot:             time.Millisecond,
+		RealignLatency:   2 * time.Millisecond,
+		LateralTolerance: 6e-3,
+		AngularTolerance: 8.73e-3,
+		TPLateralError:   4.54e-3,
+		TPAngularError:   4.54e-3 / 1.75,
+	}
+}
+
+// TraceResult is the per-trace outcome.
+type TraceResult struct {
+	ID         string
+	Slots      int
+	OffSlots   int
+	OnFraction float64
+	// FrameHistogram buckets 30-slot frames by their off-slot count:
+	// FrameHistogram[k] frames had exactly k off slots (k in 0..30).
+	FrameHistogram [31]int
+}
+
+// ScatteredOffFraction returns the fraction of off-slots that fall in
+// frames with fewer than threshold off-slots — the paper's user-experience
+// metric (">60% of off-timeslots occur in frames with less than 10").
+func (r TraceResult) ScatteredOffFraction(threshold int) float64 {
+	if r.OffSlots == 0 {
+		return 0
+	}
+	var scattered int
+	for k := 0; k < threshold && k < len(r.FrameHistogram); k++ {
+		scattered += k * r.FrameHistogram[k]
+	}
+	return float64(scattered) / float64(r.OffSlots)
+}
+
+// SimulateTrace runs the §5.4 slot model over one trace.
+func SimulateTrace(tr trace.Trace, p AvailabilityParams) TraceResult {
+	res := TraceResult{ID: tr.ID}
+	if len(tr.Samples) < 2 || p.Slot <= 0 {
+		return res
+	}
+
+	// Current drift state: offsets at the start of the current slot.
+	lat := p.TPLateralError
+	ang := p.TPAngularError
+
+	// Drift rates between the last pair of reports (per second).
+	var latRate, angRate float64
+
+	nextReportIdx := 1
+	var realignAt time.Duration = -1
+
+	end := tr.Duration()
+	frameOff := 0
+	slotInFrame := 0
+
+	for at := time.Duration(0); at < end; at += p.Slot {
+		// Report arrival: schedule a realignment and update drift
+		// rates from the new report pair. Realignments pipeline: one
+		// that was due to complete before a newer report arrives takes
+		// effect first rather than being silently superseded (a
+		// tracker faster than the realign latency must not starve the
+		// mirrors).
+		for nextReportIdx < len(tr.Samples) && tr.Samples[nextReportIdx].At <= at {
+			a, b := tr.Samples[nextReportIdx-1], tr.Samples[nextReportIdx]
+			if realignAt >= 0 && b.At >= realignAt {
+				lat = p.TPLateralError
+				ang = p.TPAngularError
+				realignAt = -1
+			}
+			dt := (b.At - a.At).Seconds()
+			if dt > 0 {
+				dLin, dAng := a.Pose.Delta(b.Pose)
+				latRate = dLin / dt
+				angRate = dAng / dt
+			}
+			realignAt = tr.Samples[nextReportIdx].At + p.RealignLatency
+			nextReportIdx++
+		}
+
+		// Realignment completes: residual TP error only.
+		if realignAt >= 0 && at >= realignAt {
+			lat = p.TPLateralError
+			ang = p.TPAngularError
+			realignAt = -1
+		}
+
+		// Connectivity check for this slot.
+		off := lat > p.LateralTolerance || ang > p.AngularTolerance
+		res.Slots++
+		if off {
+			res.OffSlots++
+			frameOff++
+		}
+		slotInFrame++
+		if slotInFrame == 30 {
+			res.FrameHistogram[frameOff]++
+			slotInFrame, frameOff = 0, 0
+		}
+
+		// Drift across the slot.
+		lat += latRate * p.Slot.Seconds()
+		ang += angRate * p.Slot.Seconds()
+	}
+	if slotInFrame > 0 {
+		res.FrameHistogram[frameOff]++
+	}
+	if res.Slots > 0 {
+		res.OnFraction = 1 - float64(res.OffSlots)/float64(res.Slots)
+	}
+	return res
+}
+
+// CorpusResult aggregates a full dataset run — the data behind Fig 16.
+type CorpusResult struct {
+	PerTrace []TraceResult
+	// MeanOnFraction is the operational fraction across all traces'
+	// slots (the paper's 98.6 %).
+	MeanOnFraction float64
+	// MinOnFraction / MaxOnFraction bound the per-trace spread (95 % to
+	// 99.98 % in the paper).
+	MinOnFraction, MaxOnFraction float64
+}
+
+func (c CorpusResult) String() string {
+	return fmt.Sprintf("corpus: mean on %.2f%%, range %.2f%%-%.2f%% over %d traces",
+		c.MeanOnFraction*100, c.MinOnFraction*100, c.MaxOnFraction*100, len(c.PerTrace))
+}
+
+// SimulateCorpus runs the slot model over every trace.
+func SimulateCorpus(traces []trace.Trace, p AvailabilityParams) CorpusResult {
+	var c CorpusResult
+	var slots, off int
+	for i, tr := range traces {
+		r := SimulateTrace(tr, p)
+		c.PerTrace = append(c.PerTrace, r)
+		slots += r.Slots
+		off += r.OffSlots
+		if i == 0 {
+			c.MinOnFraction, c.MaxOnFraction = r.OnFraction, r.OnFraction
+		} else {
+			if r.OnFraction < c.MinOnFraction {
+				c.MinOnFraction = r.OnFraction
+			}
+			if r.OnFraction > c.MaxOnFraction {
+				c.MaxOnFraction = r.OnFraction
+			}
+		}
+	}
+	if slots > 0 {
+		c.MeanOnFraction = 1 - float64(off)/float64(slots)
+	}
+	return c
+}
+
+// DisconnectionCDF returns the cumulative distribution of per-trace
+// disconnected percentage: point (x[i], y[i]) means a fraction y[i] of
+// traces were disconnected for at most x[i] percent of their slots — the
+// Fig 16 curve.
+func (c CorpusResult) DisconnectionCDF(points int) (xs, ys []float64) {
+	if points < 2 || len(c.PerTrace) == 0 {
+		return nil, nil
+	}
+	var maxOff float64
+	offs := make([]float64, len(c.PerTrace))
+	for i, r := range c.PerTrace {
+		offs[i] = (1 - r.OnFraction) * 100
+		if offs[i] > maxOff {
+			maxOff = offs[i]
+		}
+	}
+	for k := 0; k < points; k++ {
+		x := maxOff * float64(k) / float64(points-1)
+		count := 0
+		for _, o := range offs {
+			if o <= x {
+				count++
+			}
+		}
+		xs = append(xs, x)
+		ys = append(ys, float64(count)/float64(len(offs)))
+	}
+	return xs, ys
+}

@@ -1,0 +1,49 @@
+GO ?= go
+
+.PHONY: all build vet test race verify bench clean
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Tier-1 gate: everything must build, vet clean, and pass the full test
+# suite under the race detector (the parallel experiment engine fans out
+# goroutines, so -race is part of the contract, not an extra).
+verify:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+# Serial vs parallel wall time for the Fig 16 500-trace corpus, recorded
+# into BENCH_parallel.json. The two benchmarks produce bit-identical
+# Fig16Result output; the speedup scales with available cores (on a
+# single-core machine the ratio is ~1 by construction).
+bench:
+	$(GO) test -run '^$$' -bench '^BenchmarkFig16TraceAvailability(Serial|Parallel)$$' -benchtime 3x . | tee .bench_parallel.txt
+	awk ' \
+	/^BenchmarkFig16TraceAvailabilitySerial/ { \
+		serial = $$3; \
+		n = split($$1, a, "-"); cores = (n > 1 ? a[n] : 1); \
+	} \
+	/^BenchmarkFig16TraceAvailabilityParallel/ { par = $$3 } \
+	END { \
+		if (serial == 0 || par == 0) { print "bench: missing benchmark output" > "/dev/stderr"; exit 1 } \
+		printf "{\n  \"benchmark\": \"Fig16TraceAvailability\",\n  \"cores\": %d,\n  \"serial_ns_per_op\": %.0f,\n  \"parallel_ns_per_op\": %.0f,\n  \"speedup\": %.2f\n}\n", \
+			cores, serial, par, serial / par; \
+	}' .bench_parallel.txt > BENCH_parallel.json
+	rm -f .bench_parallel.txt
+	cat BENCH_parallel.json
+
+clean:
+	rm -f BENCH_parallel.json .bench_parallel.txt
+	$(GO) clean ./...

@@ -12,6 +12,7 @@ import (
 	"cyclops/internal/link"
 	"cyclops/internal/motion"
 	"cyclops/internal/optimize"
+	"cyclops/internal/parallel"
 	"cyclops/internal/pointing"
 	"cyclops/internal/sim"
 	"cyclops/internal/trace"
@@ -251,18 +252,19 @@ type TrackingRatePoint struct {
 // AblationTrackingRate reruns the §5.4 availability model with faster and
 // slower trackers — the §6 claim that "a custom VRH-T with much higher
 // tracking frequency will improve Cyclops's performance significantly".
+// Each interval's 500-trace resample + simulation is independent, so the
+// sweep fans out across the default worker pool (results in interval
+// order, identical to the serial sweep).
 func AblationTrackingRate(seed int64, intervals []time.Duration) []TrackingRatePoint {
 	traces := trace.Dataset(seed, link.DefaultHeadsetPose().Trans)
-	var out []TrackingRatePoint
-	for _, iv := range intervals {
-		resampled := make([]trace.Trace, len(traces))
-		for i, tr := range traces {
-			resampled[i] = resampleTrace(tr, iv)
-		}
+	return parallel.Map(len(intervals), 0, func(k int) TrackingRatePoint {
+		iv := intervals[k]
+		resampled := parallel.Map(len(traces), 0, func(i int) trace.Trace {
+			return resampleTrace(traces[i], iv)
+		})
 		c := sim.SimulateCorpus(resampled, sim.Paper25G())
-		out = append(out, TrackingRatePoint{ReportInterval: iv, MeanOnFraction: c.MeanOnFraction})
-	}
-	return out
+		return TrackingRatePoint{ReportInterval: iv, MeanOnFraction: c.MeanOnFraction}
+	})
 }
 
 // resampleTrace re-times a trace's reports to the given interval by
@@ -360,24 +362,22 @@ func AblationBeamChoice(seed int64) (BeamChoiceResult, error) {
 	prog := func() motion.Program {
 		return HandHeld(0.14, 0.33, 20*time.Second, seed)
 	}
-	run := func(cfg LinkConfig) (float64, error) {
-		sys := NewSystem(cfg, seed)
+	// The two designs share nothing (each job builds its own system and
+	// its own program instance), so they run concurrently.
+	configs := []LinkConfig{Link10GCollimated, Link10G}
+	up, err := parallel.MapErr(len(configs), 0, func(i int) (float64, error) {
+		sys := NewSystem(configs[i], seed)
 		sys.UseOracleModels()
 		res, err := sys.Run(RunOptions{Program: prog()})
 		if err != nil {
 			return 0, err
 		}
 		return res.UpFraction, nil
+	})
+	if err != nil {
+		return BeamChoiceResult{}, err
 	}
-	var r BeamChoiceResult
-	var err error
-	if r.CollimatedUpFraction, err = run(Link10GCollimated); err != nil {
-		return r, err
-	}
-	if r.DivergingUpFraction, err = run(Link10G); err != nil {
-		return r, err
-	}
-	return r, nil
+	return BeamChoiceResult{CollimatedUpFraction: up[0], DivergingUpFraction: up[1]}, nil
 }
 
 // Render prints the comparison.

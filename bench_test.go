@@ -133,6 +133,29 @@ func BenchmarkFig16TraceAvailability(b *testing.B) {
 	b.Log("\n" + r.Render())
 }
 
+// BenchmarkFig16TraceAvailabilitySerial pins the §5.4 corpus simulation to
+// the serial path (workers=1). Compare against the Parallel variant below
+// to measure the fan-out speedup on a given machine; the Makefile `bench`
+// target records both into BENCH_parallel.json. Output is bit-identical
+// between the two for any worker count.
+func BenchmarkFig16TraceAvailabilitySerial(b *testing.B) {
+	var r Fig16Result
+	for i := 0; i < b.N; i++ {
+		r = Fig16Workers(int64(700+i), 1)
+	}
+	b.Log("\n" + r.Render())
+}
+
+// BenchmarkFig16TraceAvailabilityParallel runs the same corpus with the
+// default worker pool (one worker per core).
+func BenchmarkFig16TraceAvailabilityParallel(b *testing.B) {
+	var r Fig16Result
+	for i := 0; i < b.N; i++ {
+		r = Fig16Workers(int64(700+i), 0)
+	}
+	b.Log("\n" + r.Render())
+}
+
 // BenchmarkPointingConvergence measures the §4.3 iteration counts.
 func BenchmarkPointingConvergence(b *testing.B) {
 	var r ConvergenceResult

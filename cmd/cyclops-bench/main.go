@@ -6,6 +6,12 @@
 //	cyclops-bench -experiment all
 //	cyclops-bench -experiment table1
 //	cyclops-bench -experiment fig13 -seed 7
+//	cyclops-bench -experiment fig16 -parallel 8   # 8 workers, same output
+//	cyclops-bench -experiment all -parallel 1     # force the serial path
+//
+// -parallel sets the fan-out width for the corpus simulations and
+// multi-rig experiments (0, the default, uses every core). Results are
+// bit-identical for any worker count.
 //
 // Experiments: fig3, table1, fig11, table2, tp, fig13, fig14, fig15,
 // table3, fig16, convergence, ablations, all.
@@ -19,12 +25,15 @@ import (
 	"time"
 
 	"cyclops"
+	"cyclops/internal/parallel"
 )
 
 func main() {
 	experiment := flag.String("experiment", "all", "which experiment to run (fig3|table1|fig11|table2|tp|fig13|fig14|fig15|table3|fig16|convergence|ablations|extensions|all)")
 	seed := flag.Int64("seed", 1, "seed for all hidden variation")
+	workers := flag.Int("parallel", 0, "worker count for experiment fan-out (0 = all cores, 1 = serial); any value produces identical results")
 	flag.Parse()
+	parallel.SetDefaultWorkers(*workers)
 
 	runners := map[string]func(int64) error{
 		"fig3": func(s int64) error {

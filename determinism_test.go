@@ -1,0 +1,41 @@
+package cyclops
+
+// The determinism suite: the parallel experiment engine must produce
+// bit-identical results for any worker count. These tests pin that
+// contract at the top level — the full Fig 16 corpus pipeline (500 trace
+// generations + 500 slot-model simulations) — both with explicit worker
+// counts and through the process-wide default that cyclops-bench's
+// -parallel flag sets.
+
+import (
+	"reflect"
+	"testing"
+
+	"cyclops/internal/parallel"
+)
+
+func TestFig16WorkerDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("500-trace corpus ×3 in -short mode")
+	}
+	serial := Fig16Workers(3, 1)
+	for _, workers := range []int{4, 8} {
+		got := Fig16Workers(3, workers)
+		if !reflect.DeepEqual(got, serial) {
+			t.Errorf("workers=%d: Fig16Result differs from serial run", workers)
+		}
+	}
+}
+
+func TestFig16DefaultWorkersDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("500-trace corpus ×2 in -short mode")
+	}
+	// The -parallel flag path: SetDefaultWorkers must not change results.
+	serial := Fig16Workers(3, 1)
+	parallel.SetDefaultWorkers(6)
+	defer parallel.SetDefaultWorkers(0)
+	if got := Fig16(3); !reflect.DeepEqual(got, serial) {
+		t.Error("Fig16 under SetDefaultWorkers(6) differs from serial run")
+	}
+}

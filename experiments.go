@@ -11,6 +11,7 @@ import (
 	"cyclops/internal/geom"
 	"cyclops/internal/link"
 	"cyclops/internal/optics"
+	"cyclops/internal/parallel"
 	"cyclops/internal/pointing"
 	"cyclops/internal/sim"
 	"cyclops/internal/trace"
@@ -403,36 +404,57 @@ func summarizeRun(label string, res RunResult, wantLinear, wantAngular bool) Mot
 	return m
 }
 
-// Fig13 runs the 10G pure-motion experiments (linear rail, rotation
-// stage). Paper: optimal ≤33 cm/s linear (up to 39.15), ≤16-18 deg/s
-// angular (up to 18.95).
-func Fig13(seed int64) (linear, angular MotionResult, err error) {
-	sys := NewSystem(Link10G, seed)
-	if _, err = sys.Calibrate(); err != nil {
-		return
-	}
-	res, err := sys.Run(RunOptions{
-		Program:     LinearRail(0.20, 0.10, 0.05, 10),
-		SampleEvery: 5 * time.Millisecond,
-	})
-	if err != nil {
-		return
-	}
-	linear = summarizeRun("Fig 13 (10G, pure linear)", res, true, false)
+// motionJob is one independent calibrate-and-run experiment: its own
+// system (own seed), its own motion program. Jobs share nothing, so the
+// experiment runners fan them out with parallel.MapErr.
+type motionJob struct {
+	label       string
+	cfg         LinkConfig
+	seed        int64
+	program     Program
+	wantLinear  bool
+	wantAngular bool
+}
 
-	sys2 := NewSystem(Link10G, seed+1000)
-	if _, err = sys2.Calibrate(); err != nil {
-		return
-	}
-	res2, err := sys2.Run(RunOptions{
-		Program:     RotationStage(0.30, 0.10, 0.05, 10),
-		SampleEvery: 5 * time.Millisecond,
+// runMotionJobs calibrates and runs every job on its own system, in
+// parallel, returning results in job order.
+func runMotionJobs(jobs []motionJob) ([]MotionResult, error) {
+	return parallel.MapErr(len(jobs), 0, func(i int) (MotionResult, error) {
+		j := jobs[i]
+		sys := NewSystem(j.cfg, j.seed)
+		if _, err := sys.Calibrate(); err != nil {
+			return MotionResult{}, err
+		}
+		res, err := sys.Run(RunOptions{
+			Program:     j.program,
+			SampleEvery: 5 * time.Millisecond,
+		})
+		if err != nil {
+			return MotionResult{}, err
+		}
+		return summarizeRun(j.label, res, j.wantLinear, j.wantAngular), nil
+	})
+}
+
+// Fig13 runs the 10G pure-motion experiments (linear rail, rotation
+// stage), fanning the two independent rigs out in parallel. Paper:
+// optimal ≤33 cm/s linear (up to 39.15), ≤16-18 deg/s angular (up to
+// 18.95).
+func Fig13(seed int64) (linear, angular MotionResult, err error) {
+	out, err := runMotionJobs([]motionJob{
+		{
+			label: "Fig 13 (10G, pure linear)", cfg: Link10G, seed: seed,
+			program: LinearRail(0.20, 0.10, 0.05, 10), wantLinear: true,
+		},
+		{
+			label: "Fig 13 (10G, pure angular)", cfg: Link10G, seed: seed + 1000,
+			program: RotationStage(0.30, 0.10, 0.05, 10), wantAngular: true,
+		},
 	})
 	if err != nil {
 		return
 	}
-	angular = summarizeRun("Fig 13 (10G, pure angular)", res2, false, true)
-	return linear, angular, nil
+	return out[0], out[1], nil
 }
 
 // Fig14 runs the 10G arbitrary-motion user study. Paper: optimal at
@@ -452,44 +474,28 @@ func Fig14(seed int64) (MotionResult, error) {
 	return summarizeRun("Fig 14 (10G, arbitrary motion)", res, true, true), nil
 }
 
-// Fig15 runs the 25G experiments: pure linear, pure angular, and mixed.
-// Paper: optimal ≤25 cm/s or ≤25 deg/s pure; mixed ≤15 cm/s & 15-20 deg/s.
+// Fig15 runs the 25G experiments — pure linear, pure angular, and mixed —
+// as three independent rigs in parallel. Paper: optimal ≤25 cm/s or
+// ≤25 deg/s pure; mixed ≤15 cm/s & 15-20 deg/s.
 func Fig15(seed int64) (linear, angular, mixed MotionResult, err error) {
-	mk := func(s int64) (*System, error) {
-		sys := NewSystem(Link25G, s)
-		_, err := sys.Calibrate()
-		return sys, err
-	}
-	sys, err := mk(seed)
+	out, err := runMotionJobs([]motionJob{
+		{
+			label: "Fig 15 (25G, pure linear)", cfg: Link25G, seed: seed,
+			program: LinearRail(0.20, 0.10, 0.05, 10), wantLinear: true,
+		},
+		{
+			label: "Fig 15 (25G, pure angular)", cfg: Link25G, seed: seed + 1000,
+			program: RotationStage(0.30, 0.10, 0.05, 12), wantAngular: true,
+		},
+		{
+			label: "Fig 15 (25G, arbitrary motion)", cfg: Link25G, seed: seed + 2000,
+			program: HandHeld(0.45, 0.6, 60*time.Second, seed), wantLinear: true, wantAngular: true,
+		},
+	})
 	if err != nil {
 		return
 	}
-	res, err := sys.Run(RunOptions{Program: LinearRail(0.20, 0.10, 0.05, 10), SampleEvery: 5 * time.Millisecond})
-	if err != nil {
-		return
-	}
-	linear = summarizeRun("Fig 15 (25G, pure linear)", res, true, false)
-
-	sys2, err := mk(seed + 1000)
-	if err != nil {
-		return
-	}
-	res2, err := sys2.Run(RunOptions{Program: RotationStage(0.30, 0.10, 0.05, 12), SampleEvery: 5 * time.Millisecond})
-	if err != nil {
-		return
-	}
-	angular = summarizeRun("Fig 15 (25G, pure angular)", res2, false, true)
-
-	sys3, err := mk(seed + 2000)
-	if err != nil {
-		return
-	}
-	res3, err := sys3.Run(RunOptions{Program: HandHeld(0.45, 0.6, 60*time.Second, seed), SampleEvery: 5 * time.Millisecond})
-	if err != nil {
-		return
-	}
-	mixed = summarizeRun("Fig 15 (25G, arbitrary motion)", res3, true, true)
-	return linear, angular, mixed, nil
+	return out[0], out[1], out[2], nil
 }
 
 // -------------------------------------------------------------- Table 3 —
@@ -502,25 +508,32 @@ type Table3Result struct {
 	Mixed25G [2]float64
 }
 
-// Table3 assembles the summary from the Fig 13–15 runs.
+// Table3 assembles the summary from the Fig 13–15 runs. The three figure
+// groups are independent (disjoint seeds, own systems), so they run in
+// parallel — and Fig 13/15 fan out their own rigs beneath that.
 func Table3(seed int64) (Table3Result, error) {
 	var t Table3Result
-	lin10, ang10, err := Fig13(seed)
+	type group struct{ a, b, c MotionResult }
+	groups, err := parallel.MapErr(3, 0, func(i int) (group, error) {
+		switch i {
+		case 0:
+			lin, ang, err := Fig13(seed)
+			return group{a: lin, b: ang}, err
+		case 1:
+			mix, err := Fig14(seed + 10)
+			return group{a: mix}, err
+		default:
+			lin, ang, mix, err := Fig15(seed + 20)
+			return group{a: lin, b: ang, c: mix}, err
+		}
+	})
 	if err != nil {
 		return t, err
 	}
-	mix10, err := Fig14(seed + 10)
-	if err != nil {
-		return t, err
-	}
-	lin25, ang25, mix25, err := Fig15(seed + 20)
-	if err != nil {
-		return t, err
-	}
-	t.Pure10G = [2]float64{lin10.LinearThreshold, ang10.AngularThreshold}
-	t.Mixed10G = [2]float64{mix10.LinearThreshold, mix10.AngularThreshold}
-	t.Pure25G = [2]float64{lin25.LinearThreshold, ang25.AngularThreshold}
-	t.Mixed25G = [2]float64{mix25.LinearThreshold, mix25.AngularThreshold}
+	t.Pure10G = [2]float64{groups[0].a.LinearThreshold, groups[0].b.AngularThreshold}
+	t.Mixed10G = [2]float64{groups[1].a.LinearThreshold, groups[1].a.AngularThreshold}
+	t.Pure25G = [2]float64{groups[2].a.LinearThreshold, groups[2].b.AngularThreshold}
+	t.Mixed25G = [2]float64{groups[2].c.LinearThreshold, groups[2].c.AngularThreshold}
 	return t, nil
 }
 
@@ -551,10 +564,18 @@ type Fig16Result struct {
 }
 
 // Fig16 runs the §5.4 slot simulation over the 500-trace corpus with the
-// paper's 25G constants.
+// paper's 25G constants. Both the corpus generation and the 500 trace
+// simulations fan out across the default worker pool.
 func Fig16(seed int64) Fig16Result {
-	traces := trace.Dataset(seed, link.DefaultHeadsetPose().Trans)
-	corpus := sim.SimulateCorpus(traces, sim.Paper25G())
+	return Fig16Workers(seed, 0)
+}
+
+// Fig16Workers is Fig16 with an explicit worker count (≤ 0 means the
+// parallel package default, 1 forces the serial path). The determinism
+// contract holds: any worker count returns the identical Fig16Result.
+func Fig16Workers(seed int64, workers int) Fig16Result {
+	traces := trace.DatasetWorkers(seed, link.DefaultHeadsetPose().Trans, workers)
+	corpus := sim.SimulateCorpusWorkers(traces, sim.Paper25G(), workers)
 	var off, scattered float64
 	for _, r := range corpus.PerTrace {
 		off += float64(r.OffSlots)

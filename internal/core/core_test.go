@@ -122,6 +122,58 @@ func TestRunPointingStatistics(t *testing.T) {
 	}
 }
 
+func TestRunWarmStartsFromInFlightCommand(t *testing.T) {
+	// Reports every 1 ms outpace the ~1.8 ms realignment latency, so
+	// every solve after the first happens while a mirror command is still
+	// in flight. The solver must warm-start from that in-flight command —
+	// where the mirrors are actually headed — not from the stale applied
+	// voltages: during a steady stroke the stale start drifts ever
+	// further from the solution and costs extra P iterations per solve
+	// (measured: 2.9 mean from the stale start vs 2.0 from the in-flight
+	// command on this exact run).
+	s := oracleSystem(optics.Diverging10G16mm, 11)
+	res, err := s.Run(RunOptions{
+		Program: motion.LinearStrokes{
+			Base:       link.DefaultHeadsetPose(),
+			Axis:       geom.V(1, 0, 0),
+			HalfTravel: 0.15,
+			StartSpeed: 0.10,
+			Strokes:    2,
+			Dwell:      100 * time.Millisecond,
+		},
+		ReportEvery: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PointFailures > 0 {
+		t.Errorf("%d pointing failures", res.PointFailures)
+	}
+	if it := res.MeanPointIters(); it > 2.4 {
+		t.Errorf("mean P iterations = %.2f with in-flight reports, want ≈2.0 (stale warm start costs ≈2.9)", it)
+	}
+}
+
+func TestRunReportEveryOverridesCadence(t *testing.T) {
+	// A 5 ms fixed cadence yields ~200 reports over a second (the
+	// tracker's own cadence would yield ~80) and, being slower than the
+	// realignment latency, must keep the link up on a static pose.
+	s := oracleSystem(optics.Diverging10G16mm, 12)
+	res, err := s.Run(RunOptions{
+		Program:     motion.Static{P: link.DefaultHeadsetPose(), Len: time.Second},
+		ReportEvery: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Points < 190 || res.Points > 210 {
+		t.Errorf("pointing solves = %d with 5 ms reports, want ≈200", res.Points)
+	}
+	if res.UpFraction < 0.99 {
+		t.Errorf("up fraction %.3f with 5 ms reports on a static pose", res.UpFraction)
+	}
+}
+
 func TestSpeedThreshold(t *testing.T) {
 	mk := func(speed float64, up bool) Sample {
 		return Sample{LinSpeed: speed, Up: up, PowerOK: up}
@@ -214,6 +266,34 @@ func TestMixedSpeedThreshold(t *testing.T) {
 	// Degenerate bounds.
 	if l, a := MixedSpeedThreshold(samples, 0, 0, 20); l != 0 || a != 0 {
 		t.Error("zero bounds accepted")
+	}
+}
+
+func TestMixedSpeedThresholdSparseSamples(t *testing.T) {
+	// Every populated cell sits below minSamples: no cell is exercised,
+	// so no tolerance can be claimed. The pre-fix code treated every
+	// sparse cell as "unexercised OK" and the smallest-corner tie-break
+	// fabricated (0.05 m/s, 5 deg/s) from no data.
+	var samples []Sample
+	for l := 0.025; l < 0.5; l += 0.05 {
+		for a := 0.04; a < 0.6; a += 0.087 {
+			// 3 samples per cell, far below minSamples=40.
+			for i := 0; i < 3; i++ {
+				samples = append(samples, Sample{LinSpeed: l, AngSpeed: a, PowerOK: true})
+			}
+		}
+	}
+	if lin, ang := MixedSpeedThreshold(samples, 0.5, 0.6, 40); lin != 0 || ang != 0 {
+		t.Errorf("sparse samples produced threshold (%v, %v), want (0, 0)", lin, ang)
+	}
+	// A single under-populated cell: same story.
+	one := []Sample{{LinSpeed: 0.01, AngSpeed: 0.01, PowerOK: true}}
+	if lin, ang := MixedSpeedThreshold(one, 0.5, 0.6, 40); lin != 0 || ang != 0 {
+		t.Errorf("one sample produced threshold (%v, %v), want (0, 0)", lin, ang)
+	}
+	// And entirely empty input.
+	if lin, ang := MixedSpeedThreshold(nil, 0.5, 0.6, 40); lin != 0 || ang != 0 {
+		t.Errorf("no samples produced threshold (%v, %v), want (0, 0)", lin, ang)
 	}
 }
 

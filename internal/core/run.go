@@ -23,6 +23,12 @@ type RunOptions struct {
 	// SampleEvery controls how often a Sample is recorded (default
 	// every tick).
 	SampleEvery time.Duration
+	// ReportEvery overrides the tracker's own 12–13 ms report cadence
+	// with a fixed interval — the §6 "custom VRH-T with much higher
+	// tracking frequency" scenario. Zero keeps the tracker's cadence.
+	// Intervals shorter than the realignment latency make reports arrive
+	// while a mirror command is still in flight.
+	ReportEvery time.Duration
 	// DisableTP freezes the mirrors at their initial alignment — the
 	// no-tracking baseline ablation.
 	DisableTP bool
@@ -127,7 +133,13 @@ func (s *System) Run(opts RunOptions) (RunResult, error) {
 	// averages down the per-report tracking noise.
 	const speedWindow = 50 * time.Millisecond
 	var recent []vrh.Report
-	nextReport := s.Tracker.NextInterval()
+	reportInterval := func() time.Duration {
+		if opts.ReportEvery > 0 {
+			return opts.ReportEvery
+		}
+		return s.Tracker.NextInterval()
+	}
+	nextReport := reportInterval()
 
 	// Pending voltage command: computed at a report, applied after the
 	// hardware latency.
@@ -159,7 +171,15 @@ func (s *System) Run(opts RunOptions) (RunResult, error) {
 			}
 
 			gr := s.Map.RXModel(s.KRX, rep.Pose)
-			pres, perr := pointing.Point(gt, gr, lastV, pointing.PointOptions{})
+			// Warm-start from where the mirrors will actually be when
+			// the new command lands: if a command is still in flight,
+			// the mirrors are already moving to pendingV, and lastV is
+			// one report staler than the hardware's trajectory.
+			warmV := lastV
+			if pendingAt >= 0 {
+				warmV = pendingV
+			}
+			pres, perr := pointing.Point(gt, gr, warmV, pointing.PointOptions{})
 			res.Points++
 			if perr != nil {
 				res.PointFailures++
@@ -176,7 +196,7 @@ func (s *System) Run(opts RunOptions) (RunResult, error) {
 				pendingV = pres.V
 				pendingAt = at + lat
 			}
-			nextReport = at + s.Tracker.NextInterval()
+			nextReport = at + reportInterval()
 		}
 
 		// Physics + monitors.
@@ -295,6 +315,7 @@ func MixedSpeedThreshold(samples []Sample, linMax, angMax float64, minSamples in
 	for i := range grid {
 		grid[i] = make([]cell, nj)
 	}
+	exercised := false
 	for _, s := range samples {
 		i := int(s.LinSpeed / linBucket)
 		j := int(s.AngSpeed / angBucket)
@@ -302,9 +323,19 @@ func MixedSpeedThreshold(samples []Sample, linMax, angMax float64, minSamples in
 			continue
 		}
 		grid[i][j].n++
+		if grid[i][j].n >= minSamples {
+			exercised = true
+		}
 		if s.PowerOK {
 			grid[i][j].ok++
 		}
+	}
+	// No cell was actually exercised: every populated cell is below
+	// minSamples, so "unexercised does not veto" would declare the whole
+	// grid OK and the tie-break would report a corner fabricated from no
+	// data. There is no evidence for any tolerance — say so.
+	if !exercised {
+		return 0, 0
 	}
 	cellOK := func(i, j int) bool {
 		c := grid[i][j]

@@ -62,6 +62,45 @@ func TestStreamOutageAndRamp(t *testing.T) {
 	}
 }
 
+func TestStreamPacketAccountingCarriesRemainder(t *testing.T) {
+	// At 10 Gbps over 1 ms ticks each tick delivers 833.33 packets.
+	// Truncating per tick (the old accounting) loses the 0.33 every
+	// tick — 333 packets per second, ~0.04 % of traffic gone. The total
+	// over N ticks must match total_bits/8/MTU within one packet.
+	s := NewStream()
+	s.RampTime = 0
+	const ticks = 1000
+	for i := 0; i < ticks; i++ {
+		s.Tick(time.Duration(i)*ms, ms, true, 10)
+	}
+	totalBits := 10e9 * (ticks * ms).Seconds()
+	want := totalBits / 8 / float64(s.MTU) // 833333.33
+	if got := float64(s.Packets()); math.Abs(got-want) > 1 {
+		t.Errorf("packets = %.0f, want %.2f ± 1 (per-tick truncation?)", got, want)
+	}
+
+	// The remainder must also survive ramps, where per-tick fractions
+	// vary: total packet count still tracks total delivered bits.
+	s2 := NewStream()
+	var bits float64
+	for i := 0; i < 400; i++ {
+		up := i%100 < 60 // outage every 100 ms; ramp on recovery
+		s2.Tick(time.Duration(i)*ms, ms, up, 9.4)
+		if up {
+			rate := 9.4
+			sinceUp := time.Duration(i%100) * ms
+			if sinceUp < s2.RampTime {
+				rate *= float64(sinceUp) / float64(s2.RampTime)
+			}
+			bits += rate * 1e9 * ms.Seconds()
+		}
+	}
+	want2 := bits / 8 / float64(s2.MTU)
+	if got := float64(s2.Packets()); math.Abs(got-want2) > 1 {
+		t.Errorf("ramped packets = %.0f, want %.2f ± 1", got, want2)
+	}
+}
+
 func TestStreamWindowRolloverGaps(t *testing.T) {
 	// Sparse ticks must still produce continuous windows.
 	s := NewStream()

@@ -10,6 +10,7 @@
 package netem
 
 import (
+	"math"
 	"time"
 )
 
@@ -39,7 +40,11 @@ type Stream struct {
 	upAt    time.Duration // when the link last came up
 	wasUp   bool
 	packets int64
-	windows []Window
+	// fracPkts carries the sub-packet remainder between ticks: a tick
+	// rarely delivers a whole number of MTUs (833.33 at 10 Gbps over
+	// 1 ms), and truncating per tick would systematically undercount.
+	fracPkts float64
+	windows  []Window
 }
 
 // NewStream builds a stream with the paper's measurement parameters.
@@ -81,7 +86,11 @@ func (s *Stream) Tick(at, tickLen time.Duration, up bool, lineRateGbps float64) 
 		}
 		bits := rate * 1e9 * tickLen.Seconds()
 		s.bits += bits
-		s.packets += int64(bits / 8 / float64(s.MTU))
+		s.fracPkts += bits / 8 / float64(s.MTU)
+		if whole := math.Floor(s.fracPkts); whole > 0 {
+			s.packets += int64(whole)
+			s.fracPkts -= whole
+		}
 	}
 }
 

@@ -1,0 +1,178 @@
+// Package parallel is the experiment engine's deterministic fan-out
+// primitive. The evaluation's hot paths are embarrassingly parallel —
+// 500 independent trace simulations (§5.4), 500 independent seeded trace
+// generations, the multi-program motion sweeps of Fig 13/15 — and Map /
+// MapErr run such indexed job sets on a fixed-size worker pool while
+// keeping the output *bit-identical* to the serial loop.
+//
+// # Determinism contract
+//
+// For a pure fn (its result depends only on the index), Map and MapErr
+// return the same values for every worker count, including 1:
+//
+//   - results are written into a preallocated slice at their own index —
+//     collection order never depends on scheduling;
+//   - reductions (min/max/mean and friends) are the caller's job and must
+//     happen after Map returns, over the ordered slice, never inside fn;
+//   - MapErr reports the error of the lowest failing index, not the
+//     temporally first failure. Indices are claimed in increasing order,
+//     so every index below a failing one is guaranteed to have run, making
+//     the chosen error independent of goroutine interleaving;
+//   - a panicking job does not tear down the process from a worker
+//     goroutine: the panic is captured with its worker stack and re-raised
+//     in the calling goroutine (again lowest-index-wins) once all in-flight
+//     jobs have drained.
+//
+// Workers ≤ 0 means "use the process default" (SetDefaultWorkers, falling
+// back to GOMAXPROCS); workers == 1 runs inline on the calling goroutine
+// with no pool at all — the serial reference path.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// defaultWorkers is the process-wide fan-out width used when a call site
+// passes workers <= 0. Zero means runtime.GOMAXPROCS(0).
+var defaultWorkers atomic.Int64
+
+// SetDefaultWorkers sets the process-wide default worker count used by
+// Map/MapErr when a call site passes workers <= 0. n <= 0 restores the
+// GOMAXPROCS default. The cyclops-bench -parallel flag routes here.
+func SetDefaultWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultWorkers.Store(int64(n))
+}
+
+// DefaultWorkers returns the effective default worker count.
+func DefaultWorkers() int {
+	if n := defaultWorkers.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// PanicError wraps a panic recovered from a worker goroutine. Map/MapErr
+// re-panic with *PanicError in the calling goroutine so a crashing job
+// behaves like a crashing serial loop, but with the job index and the
+// worker's stack attached.
+type PanicError struct {
+	// Index is the job index whose fn panicked.
+	Index int
+	// Value is the original panic value.
+	Value any
+	// Stack is the worker goroutine's stack at recovery time.
+	Stack []byte
+}
+
+func (p *PanicError) Error() string {
+	return fmt.Sprintf("parallel: job %d panicked: %v\n%s", p.Index, p.Value, p.Stack)
+}
+
+// Map applies fn to every index in [0, n) on a pool of the given size and
+// returns the results in index order. workers <= 0 uses DefaultWorkers();
+// the output is identical for any worker count. A panic in fn is re-raised
+// in the caller as a *PanicError.
+func Map[T any](n, workers int, fn func(i int) T) []T {
+	out, err := MapErr(n, workers, func(i int) (T, error) {
+		return fn(i), nil
+	})
+	if err != nil {
+		// Unreachable: the wrapped fn never returns an error and panics
+		// are re-raised inside MapErr.
+		panic(err)
+	}
+	return out
+}
+
+// MapErr is Map for fallible jobs: it applies fn to every index in [0, n)
+// and returns the ordered results, or the error of the lowest failing
+// index. Once any job fails, no further indices are started (the in-flight
+// ones drain), and the partial results are discarded — callers never see a
+// half-filled slice. A panic in fn is re-raised in the caller as a
+// *PanicError.
+func MapErr[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+
+	if workers == 1 {
+		// Serial reference path: inline on the calling goroutine.
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, fmt.Errorf("parallel: job %d: %w", i, err)
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	var (
+		next       atomic.Int64 // next index to claim
+		failed     atomic.Bool  // stop claiming once any job fails
+		mu         sync.Mutex   // guards firstIdx/firstErr/firstPanic
+		firstIdx   = n          // lowest failing index seen so far
+		firstErr   error
+		firstPanic *PanicError
+	)
+	record := func(i int, err error, pv *PanicError) {
+		failed.Store(true)
+		mu.Lock()
+		if i < firstIdx {
+			firstIdx, firstErr, firstPanic = i, err, pv
+		}
+		mu.Unlock()
+	}
+	runOne := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				buf := make([]byte, 64<<10)
+				buf = buf[:runtime.Stack(buf, false)]
+				record(i, nil, &PanicError{Index: i, Value: r, Stack: buf})
+			}
+		}()
+		v, err := fn(i)
+		if err != nil {
+			record(i, err, nil)
+			return
+		}
+		out[i] = v
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				runOne(i)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if firstPanic != nil {
+		panic(firstPanic)
+	}
+	if firstErr != nil {
+		return nil, fmt.Errorf("parallel: job %d: %w", firstIdx, firstErr)
+	}
+	return out, nil
+}

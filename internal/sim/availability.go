@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"time"
 
+	"cyclops/internal/parallel"
 	"cyclops/internal/trace"
 )
 
@@ -168,13 +169,26 @@ func (c CorpusResult) String() string {
 		c.MeanOnFraction*100, c.MinOnFraction*100, c.MaxOnFraction*100, len(c.PerTrace))
 }
 
-// SimulateCorpus runs the slot model over every trace.
+// SimulateCorpus runs the slot model over every trace, fanning the
+// independent per-trace simulations out across parallel.DefaultWorkers()
+// workers. The result is bit-identical to a serial run: per-trace results
+// are collected in trace order and all reductions happen afterwards.
 func SimulateCorpus(traces []trace.Trace, p AvailabilityParams) CorpusResult {
+	return SimulateCorpusWorkers(traces, p, 0)
+}
+
+// SimulateCorpusWorkers is SimulateCorpus with an explicit worker count
+// (≤ 0 means the parallel package default, 1 forces the serial path).
+// Every worker count produces the same CorpusResult bit for bit.
+func SimulateCorpusWorkers(traces []trace.Trace, p AvailabilityParams, workers int) CorpusResult {
 	var c CorpusResult
+	c.PerTrace = parallel.Map(len(traces), workers, func(i int) TraceResult {
+		return SimulateTrace(traces[i], p)
+	})
+	// Reductions run serially over the ordered results — min/max/mean
+	// must never be accumulated inside the workers.
 	var slots, off int
-	for i, tr := range traces {
-		r := SimulateTrace(tr, p)
-		c.PerTrace = append(c.PerTrace, r)
+	for i, r := range c.PerTrace {
 		slots += r.Slots
 		off += r.OffSlots
 		if i == 0 {

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math"
+	"reflect"
 	"testing"
 	"time"
 
@@ -173,6 +174,27 @@ func TestFig16CorpusRegime(t *testing.T) {
 		if frac < 0.3 {
 			t.Errorf("scattered fraction = %.2f, paper observes >0.6", frac)
 		}
+	}
+}
+
+func TestSimulateCorpusWorkerDeterminism(t *testing.T) {
+	// The §5.4 engine's contract: any worker count — including the
+	// default pool — produces a CorpusResult bit-identical to the serial
+	// loop. 40 shorter traces keep this fast enough to run everywhere.
+	origin := geom.V(0.35, 0.25, 1.0)
+	traces := make([]trace.Trace, 40)
+	for i := range traces {
+		traces[i] = trace.Generate(5, i, 10*time.Second, origin)
+	}
+	serial := SimulateCorpusWorkers(traces, Paper25G(), 1)
+	for _, workers := range []int{4, 8} {
+		got := SimulateCorpusWorkers(traces, Paper25G(), workers)
+		if !reflect.DeepEqual(got, serial) {
+			t.Errorf("workers=%d: CorpusResult differs from serial", workers)
+		}
+	}
+	if got := SimulateCorpus(traces, Paper25G()); !reflect.DeepEqual(got, serial) {
+		t.Error("default-worker SimulateCorpus differs from serial")
 	}
 }
 

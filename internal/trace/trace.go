@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"cyclops/internal/geom"
+	"cyclops/internal/parallel"
 )
 
 // SampleInterval is the dataset's report period.
@@ -379,11 +380,17 @@ func sign(rng *rand.Rand) float64 {
 }
 
 // Dataset generates the full 500-trace corpus the §5.4 evaluation uses:
-// 50 viewers × 10 one-minute videos.
+// 50 viewers × 10 one-minute videos. Generation fans out across
+// parallel.DefaultWorkers() workers; each trace derives its RNG from
+// (seed, index) alone, so any worker count yields the identical corpus.
 func Dataset(seed int64, origin geom.Vec3) []Trace {
-	traces := make([]Trace, 0, 500)
-	for i := 0; i < 500; i++ {
-		traces = append(traces, Generate(seed, i, time.Minute, origin))
-	}
-	return traces
+	return DatasetWorkers(seed, origin, 0)
+}
+
+// DatasetWorkers is Dataset with an explicit worker count (≤ 0 means the
+// parallel package default, 1 forces the serial path).
+func DatasetWorkers(seed int64, origin geom.Vec3, workers int) []Trace {
+	return parallel.Map(500, workers, func(i int) Trace {
+		return Generate(seed, i, time.Minute, origin)
+	})
 }

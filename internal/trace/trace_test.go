@@ -3,6 +3,7 @@ package trace
 import (
 	"bytes"
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -166,6 +167,20 @@ func TestDatasetSize(t *testing.T) {
 			t.Fatalf("duplicate trace ID %s", tr.ID)
 		}
 		seen[tr.ID] = true
+	}
+}
+
+func TestDatasetWorkerDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("500-trace corpus ×3 in -short mode")
+	}
+	origin := geom.V(0.35, 0.25, 1.0)
+	serial := DatasetWorkers(11, origin, 1)
+	for _, workers := range []int{4, 8} {
+		got := DatasetWorkers(11, origin, workers)
+		if !reflect.DeepEqual(got, serial) {
+			t.Errorf("workers=%d: corpus differs from serial generation", workers)
+		}
 	}
 }
 

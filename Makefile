@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race verify bench clean
+.PHONY: all build vet test race verify bench metrics-smoke clean
 
 all: verify
 
@@ -23,6 +23,23 @@ verify:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(MAKE) metrics-smoke
+
+# End-to-end observability check: a real cyclops-bench run with -metrics
+# must emit valid Prometheus text exposition containing the key
+# instruments (pointing iterations, received power, disconnects, packets).
+# The convergence + static-run pair exercises every instrumented layer in
+# a few seconds.
+metrics-smoke:
+	$(GO) run ./cmd/cyclops-bench -experiment convergence -parallel 2 -metrics .metrics_smoke.prom
+	grep -q '^cyclops_pointing_iterations_bucket{le="' .metrics_smoke.prom
+	grep -q '^cyclops_link_received_power_dbm_bucket{le="' .metrics_smoke.prom
+	grep -q '^cyclops_link_disconnects_total ' .metrics_smoke.prom
+	grep -q '^cyclops_netem_packets_total ' .metrics_smoke.prom
+	grep -q '^cyclops_run_ticks_total ' .metrics_smoke.prom
+	grep -q '^# TYPE cyclops_run_repoint_latency_seconds histogram$$' .metrics_smoke.prom
+	rm -f .metrics_smoke.prom
+	@echo "metrics-smoke: ok"
 
 # Serial vs parallel wall time for the Fig 16 500-trace corpus, recorded
 # into BENCH_parallel.json. The two benchmarks produce bit-identical
@@ -45,5 +62,5 @@ bench:
 	cat BENCH_parallel.json
 
 clean:
-	rm -f BENCH_parallel.json .bench_parallel.txt
+	rm -f BENCH_parallel.json .bench_parallel.txt .metrics_smoke.prom
 	$(GO) clean ./...

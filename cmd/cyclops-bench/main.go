@@ -8,18 +8,27 @@
 //	cyclops-bench -experiment fig13 -seed 7
 //	cyclops-bench -experiment fig16 -parallel 8   # 8 workers, same output
 //	cyclops-bench -experiment all -parallel 1     # force the serial path
+//	cyclops-bench -experiment fig16 -metrics metrics.prom
+//	cyclops-bench -experiment all -pprof localhost:6060
 //
 // -parallel sets the fan-out width for the corpus simulations and
 // multi-rig experiments (0, the default, uses every core). Results are
 // bit-identical for any worker count.
 //
-// Experiments: fig3, table1, fig11, table2, tp, fig13, fig14, fig15,
-// table3, fig16, convergence, ablations, all.
+// -metrics writes the process-wide registry as Prometheus text exposition
+// to the given file when the run completes. -pprof serves
+// net/http/pprof on the given address for the duration of the run.
+//
+// The experiment names come from the cyclops.Experiments registry:
+// fig3, table1, fig11, table2, tp, fig13, fig14, fig15, table3, fig16,
+// convergence, ablations, extensions — or all.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
 	"time"
@@ -29,155 +38,66 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "which experiment to run (fig3|table1|fig11|table2|tp|fig13|fig14|fig15|table3|fig16|convergence|ablations|extensions|all)")
+	var names []string
+	for _, e := range cyclops.Experiments() {
+		names = append(names, e.Name())
+	}
+	experiment := flag.String("experiment", "all",
+		"which experiment to run ("+strings.Join(names, "|")+"|all)")
 	seed := flag.Int64("seed", 1, "seed for all hidden variation")
 	workers := flag.Int("parallel", 0, "worker count for experiment fan-out (0 = all cores, 1 = serial); any value produces identical results")
+	metricsFile := flag.String("metrics", "", "write Prometheus text exposition of the run's metrics to this file on exit")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while running")
 	flag.Parse()
 	parallel.SetDefaultWorkers(*workers)
 
-	runners := map[string]func(int64) error{
-		"fig3": func(s int64) error {
-			fmt.Print(cyclops.Fig3(s, 25).Render())
-			return nil
-		},
-		"table1": func(int64) error {
-			fmt.Print(cyclops.Table1().Render())
-			return nil
-		},
-		"fig11": func(int64) error {
-			fmt.Print(cyclops.Fig11().Render())
-			return nil
-		},
-		"table2": func(s int64) error {
-			r, err := cyclops.Table2(s)
-			if err != nil {
-				return err
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "cyclops-bench: pprof: %v\n", err)
 			}
-			fmt.Print(r.Render())
-			return nil
-		},
-		"tp": func(s int64) error {
-			r, err := cyclops.TPEvaluation(s)
-			if err != nil {
-				return err
-			}
-			fmt.Print(r.Render())
-			return nil
-		},
-		"fig13": func(s int64) error {
-			lin, ang, err := cyclops.Fig13(s)
-			if err != nil {
-				return err
-			}
-			fmt.Print(lin.Render(), ang.Render())
-			return nil
-		},
-		"fig14": func(s int64) error {
-			m, err := cyclops.Fig14(s)
-			if err != nil {
-				return err
-			}
-			fmt.Print(m.Render())
-			return nil
-		},
-		"fig15": func(s int64) error {
-			lin, ang, mix, err := cyclops.Fig15(s)
-			if err != nil {
-				return err
-			}
-			fmt.Print(lin.Render(), ang.Render(), mix.Render())
-			return nil
-		},
-		"table3": func(s int64) error {
-			r, err := cyclops.Table3(s)
-			if err != nil {
-				return err
-			}
-			fmt.Print(r.Render())
-			return nil
-		},
-		"fig16": func(s int64) error {
-			fmt.Print(cyclops.Fig16(s).Render())
-			return nil
-		},
-		"convergence": func(s int64) error {
-			r, err := cyclops.Convergence(s)
-			if err != nil {
-				return err
-			}
-			fmt.Print(r.Render())
-			return nil
-		},
-		"extensions": func(s int64) error {
-			h, err := cyclops.ExtensionHandover(s)
-			if err != nil {
-				return err
-			}
-			fmt.Print(h.Render())
-			bm, err := cyclops.BaselineMmWave(s + 1)
-			if err != nil {
-				return err
-			}
-			fmt.Print(bm.Render())
-			fmt.Print(cyclops.EyeSafetyTable())
-			fmt.Print(cyclops.FutureWork40G())
-			return nil
-		},
-		"ablations": func(s int64) error {
-			dg, err := cyclops.AblationDirectGPrime(s)
-			if err != nil {
-				return err
-			}
-			fmt.Print(dg.Render())
-			fo, err := cyclops.AblationFixedOrigin(s + 1)
-			if err != nil {
-				return err
-			}
-			fmt.Print(fo.Render())
-			fmt.Print(cyclops.RenderTrackingRate(cyclops.AblationTrackingRate(s+2, []time.Duration{
-				2 * time.Millisecond, 5 * time.Millisecond,
-				10 * time.Millisecond, 20 * time.Millisecond,
-			})))
-			bc, err := cyclops.AblationBeamChoice(s + 3)
-			if err != nil {
-				return err
-			}
-			fmt.Print(bc.Render())
-			cp, err := cyclops.AblationCouplingImprovement(s + 4)
-			if err != nil {
-				return err
-			}
-			fmt.Print(cp.Render())
-			return nil
-		},
+		}()
 	}
-	order := []string{
-		"fig3", "table1", "fig11", "table2", "tp",
-		"fig13", "fig14", "fig15", "table3", "fig16",
-		"convergence", "ablations", "extensions",
+
+	run := func(e cyclops.Experiment) error {
+		res, err := e.Run(*seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+		return nil
 	}
 
 	which := strings.ToLower(*experiment)
-	if which == "all" {
-		for _, name := range order {
-			fmt.Printf("==== %s ====\n", name)
+	switch which {
+	case "all":
+		for _, e := range cyclops.Experiments() {
+			fmt.Printf("==== %s ====\n", e.Name())
 			start := time.Now()
-			if err := runners[name](*seed); err != nil {
-				fmt.Fprintf(os.Stderr, "cyclops-bench: %s: %v\n", name, err)
+			if err := run(e); err != nil {
+				fmt.Fprintf(os.Stderr, "cyclops-bench: %s: %v\n", e.Name(), err)
 				os.Exit(1)
 			}
 			fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
 		}
-		return
+	default:
+		e, ok := cyclops.LookupExperiment(which)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "cyclops-bench: unknown experiment %q (want %s or all)\n",
+				which, strings.Join(names, "|"))
+			os.Exit(2)
+		}
+		if err := run(e); err != nil {
+			fmt.Fprintf(os.Stderr, "cyclops-bench: %v\n", err)
+			os.Exit(1)
+		}
 	}
-	run, ok := runners[which]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "cyclops-bench: unknown experiment %q (want %s or all)\n",
-			which, strings.Join(order, "|"))
-		os.Exit(2)
-	}
-	if err := run(*seed); err != nil {
-		fmt.Fprintf(os.Stderr, "cyclops-bench: %v\n", err)
-		os.Exit(1)
+
+	if *metricsFile != "" {
+		exp := cyclops.DefaultMetrics().Exposition()
+		if err := os.WriteFile(*metricsFile, []byte(exp), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "cyclops-bench: writing metrics: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

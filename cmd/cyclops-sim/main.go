@@ -7,6 +7,12 @@
 //	cyclops-sim -link 10g -motion linear -speed 0.3
 //	cyclops-sim -link 25g -motion handheld -duration 30s -oracle
 //	cyclops-sim -motion trace -seed 4
+//	cyclops-sim -motion handheld -metrics run.prom
+//	cyclops-sim -experiment convergence            # registry dispatch
+//
+// -experiment bypasses the interactive run and executes a named entry of
+// the cyclops.Experiments registry instead (same names as cyclops-bench).
+// -metrics writes the run's Prometheus text exposition to a file on exit.
 package main
 
 import (
@@ -14,6 +20,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"strings"
 	"time"
 
 	"cyclops"
@@ -27,7 +34,41 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed for all hidden variation")
 	oracle := flag.Bool("oracle", false, "use oracle models instead of running the calibration")
 	series := flag.Bool("series", false, "print the 50 ms throughput/power series")
+	experiment := flag.String("experiment", "", "run a named experiment from the registry instead of an interactive run")
+	metricsFile := flag.String("metrics", "", "write Prometheus text exposition of the run's metrics to this file on exit")
 	flag.Parse()
+
+	writeMetrics := func() {
+		if *metricsFile == "" {
+			return
+		}
+		exp := cyclops.DefaultMetrics().Exposition()
+		if err := os.WriteFile(*metricsFile, []byte(exp), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "cyclops-sim: writing metrics: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	if *experiment != "" {
+		e, ok := cyclops.LookupExperiment(*experiment)
+		if !ok {
+			var names []string
+			for _, reg := range cyclops.Experiments() {
+				names = append(names, reg.Name())
+			}
+			fmt.Fprintf(os.Stderr, "cyclops-sim: unknown experiment %q (want %s)\n",
+				*experiment, strings.Join(names, "|"))
+			os.Exit(2)
+		}
+		res, err := e.Run(*seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cyclops-sim: %s: %v\n", e.Name(), err)
+			os.Exit(1)
+		}
+		fmt.Print(res.Render())
+		writeMetrics()
+		return
+	}
 
 	var cfg cyclops.LinkConfig
 	switch *linkName {
@@ -108,4 +149,5 @@ func main() {
 		res.Points, res.MeanPointIters(), res.MeanGPrimeIters(), res.PointFailures,
 		res.MeanTPLatency,
 		maxLin*100, maxAng*180/math.Pi)
+	writeMetrics()
 }

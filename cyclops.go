@@ -34,6 +34,7 @@ import (
 	"cyclops/internal/link"
 	"cyclops/internal/motion"
 	"cyclops/internal/netem"
+	"cyclops/internal/obs"
 	"cyclops/internal/optics"
 	"cyclops/internal/sim"
 	"cyclops/internal/trace"
@@ -160,12 +161,42 @@ func LinSpeedOf(s Sample) float64 { return s.LinSpeed }
 // AngSpeedOf returns the sample's angular speed (rad/s).
 func AngSpeedOf(s Sample) float64 { return s.AngSpeed }
 
+// TraceResult is the per-trace outcome of the §5.4 availability
+// simulation.
+type TraceResult = sim.TraceResult
+
 // TraceAvailability is the per-trace outcome of the §5.4 availability
 // simulation.
+//
+// Deprecated: use TraceResult, which matches the internal/sim name.
 type TraceAvailability = sim.TraceResult
 
+// CorpusResult aggregates a full §5.4 dataset run (Fig 16's data).
+type CorpusResult = sim.CorpusResult
+
 // AvailabilityCorpus aggregates a full §5.4 dataset run (Fig 16's data).
+//
+// Deprecated: use CorpusResult, which matches the internal/sim name.
 type AvailabilityCorpus = sim.CorpusResult
+
+// MetricsRegistry is a deterministic, dependency-free metrics registry
+// (counters, gauges, fixed-bucket histograms) with Prometheus text
+// exposition. Hand one to System.Obs or RunOptions.Metrics to collect a
+// run's observability; see DESIGN.md "Observability & determinism".
+type MetricsRegistry = obs.Registry
+
+// MetricsSnapshot is an immutable point-in-time capture of a registry —
+// the form embedded in RunResult.Metrics and CorpusResult.Metrics.
+type MetricsSnapshot = obs.Snapshot
+
+// NewMetricsRegistry builds an empty registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// DefaultMetrics is the process-wide registry: everything not given an
+// explicit registry records here. Unlike per-run snapshots it aggregates
+// concurrent work, so its exposition is stable in value but not guaranteed
+// byte-identical across worker counts.
+func DefaultMetrics() *MetricsRegistry { return obs.Default() }
 
 // VideoProfile describes a raw VR video stream (§2.1's bandwidth
 // motivation).

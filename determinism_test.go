@@ -39,3 +39,29 @@ func TestFig16DefaultWorkersDeterminism(t *testing.T) {
 		t.Error("Fig16 under SetDefaultWorkers(6) differs from serial run")
 	}
 }
+
+// TestFig16MetricsDeterminism pins the observability side of the
+// contract: the corpus's merged metrics snapshot — rendered all the way
+// to Prometheus text — must be byte-identical for any worker count.
+// (The process-default registry is exempt: it aggregates concurrent
+// work. The per-corpus snapshot is the deterministic surface.)
+func TestFig16MetricsDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("500-trace corpus ×4 in -short mode")
+	}
+	serial := Fig16Workers(3, 1).Corpus.Metrics.Exposition()
+	if serial == "" {
+		t.Fatal("serial corpus produced an empty metrics exposition")
+	}
+	for _, workers := range []int{4, 8} {
+		got := Fig16Workers(3, workers).Corpus.Metrics.Exposition()
+		if got != serial {
+			t.Errorf("workers=%d: metrics exposition differs from serial run", workers)
+		}
+	}
+	parallel.SetDefaultWorkers(6)
+	defer parallel.SetDefaultWorkers(0)
+	if got := Fig16(3).Corpus.Metrics.Exposition(); got != serial {
+		t.Error("metrics exposition under SetDefaultWorkers(6) differs from serial run")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"cyclops/internal/geom"
 	"cyclops/internal/link"
 	"cyclops/internal/motion"
+	"cyclops/internal/obs"
 	"cyclops/internal/optics"
 	"cyclops/internal/pointing"
 )
@@ -33,6 +34,78 @@ func TestRunRequiresProgram(t *testing.T) {
 	s := oracleSystem(optics.Diverging10G16mm, 1)
 	if _, err := s.Run(RunOptions{}); err == nil {
 		t.Error("nil program accepted")
+	}
+}
+
+func TestRunOptionsValidate(t *testing.T) {
+	prog := motion.Static{P: link.DefaultHeadsetPose(), Len: time.Second}
+	cases := []struct {
+		name string
+		opts RunOptions
+		ok   bool
+	}{
+		{"zero values mean defaults", RunOptions{Program: prog}, true},
+		{"explicit values", RunOptions{Program: prog, Duration: time.Second, Tick: time.Millisecond, SampleEvery: 5 * time.Millisecond, ReportEvery: 2 * time.Millisecond}, true},
+		{"nil program", RunOptions{}, false},
+		{"negative duration", RunOptions{Program: prog, Duration: -time.Second}, false},
+		{"negative tick", RunOptions{Program: prog, Tick: -time.Millisecond}, false},
+		{"negative sample", RunOptions{Program: prog, SampleEvery: -time.Millisecond}, false},
+		{"negative report", RunOptions{Program: prog, ReportEvery: -time.Millisecond}, false},
+	}
+	for _, c := range cases {
+		if err := c.opts.Validate(); (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+	// Run rejects what Validate rejects.
+	s := oracleSystem(optics.Diverging10G16mm, 1)
+	if _, err := s.Run(RunOptions{Program: prog, Tick: -time.Millisecond}); err == nil {
+		t.Error("Run accepted a negative Tick")
+	}
+}
+
+func TestRunRecordsMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := oracleSystem(optics.Diverging10G16mm, 2)
+	res, err := s.Run(RunOptions{
+		Program: motion.Static{P: link.DefaultHeadsetPose(), Len: time.Second},
+		Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := res.Metrics
+	if got := snap.Counters["cyclops_run_ticks_total"]; got != 1001 {
+		t.Errorf("ticks counter = %v, want 1001 (1 s at 1 ms inclusive)", got)
+	}
+	if snap.Counters["cyclops_run_reports_total"] <= 0 {
+		t.Error("no tracking reports recorded")
+	}
+	h, ok := snap.Histograms["cyclops_run_repoint_latency_seconds"]
+	if !ok || h.Count == 0 {
+		t.Error("repoint latency histogram empty")
+	}
+	if p, ok := snap.Histograms["cyclops_link_received_power_dbm"]; !ok || p.Count == 0 {
+		t.Error("received power histogram empty")
+	}
+	if _, ok := snap.Counters["cyclops_netem_packets_total"]; !ok {
+		t.Error("netem packet counter missing")
+	}
+	// The caller's registry saw the same data.
+	if got := reg.Snapshot().Counters["cyclops_run_ticks_total"]; got != 1001 {
+		t.Errorf("registry ticks counter = %v, want 1001", got)
+	}
+	// A second run into the same registry diffs correctly: per-run
+	// metrics stay per-run even on a shared registry.
+	res2, err := s.Run(RunOptions{
+		Program: motion.Static{P: link.DefaultHeadsetPose(), Len: time.Second},
+		Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res2.Metrics.Counters["cyclops_run_ticks_total"]; got != 1001 {
+		t.Errorf("second run's diffed ticks counter = %v, want 1001", got)
 	}
 }
 

@@ -8,30 +8,63 @@ import (
 	"cyclops/internal/link"
 	"cyclops/internal/motion"
 	"cyclops/internal/netem"
+	"cyclops/internal/obs"
 	"cyclops/internal/pointing"
 	"cyclops/internal/vrh"
 )
 
-// RunOptions configures one experiment run.
+// RunOptions configures one experiment run. The zero value of every field
+// except Program means "use the documented default"; Validate rejects
+// nonsensical values instead of silently patching them.
 type RunOptions struct {
-	// Program drives the true headset pose.
+	// Program drives the true headset pose. Required — there is no
+	// default motion.
 	Program motion.Program
-	// Duration caps the run (defaults to the program duration).
+	// Duration caps the run. Default (0): the program's own duration.
 	Duration time.Duration
-	// Tick is the simulation step (default 1 ms).
+	// Tick is the simulation step. Default (0): 1 ms, the paper's slot
+	// resolution.
 	Tick time.Duration
-	// SampleEvery controls how often a Sample is recorded (default
-	// every tick).
+	// SampleEvery controls how often a Sample is recorded. Default (0):
+	// every tick.
 	SampleEvery time.Duration
 	// ReportEvery overrides the tracker's own 12–13 ms report cadence
 	// with a fixed interval — the §6 "custom VRH-T with much higher
-	// tracking frequency" scenario. Zero keeps the tracker's cadence.
+	// tracking frequency" scenario. Default (0): the tracker's cadence.
 	// Intervals shorter than the realignment latency make reports arrive
 	// while a mirror command is still in flight.
 	ReportEvery time.Duration
 	// DisableTP freezes the mirrors at their initial alignment — the
 	// no-tracking baseline ablation.
 	DisableTP bool
+	// Metrics, when non-nil, is the registry this run records into (the
+	// run's own contribution is still embedded as RunResult.Metrics).
+	// Default (nil): System.Obs, and when that is nil too the run
+	// records into a private registry whose snapshot is published to
+	// obs.Default().
+	Metrics *obs.Registry
+}
+
+// Validate reports whether the options are usable: Program must be set,
+// and durations must be non-negative (zero always means "default", never
+// "disable"). System.Run calls it before touching any state.
+func (o RunOptions) Validate() error {
+	if o.Program == nil {
+		return fmt.Errorf("core: invalid RunOptions: Program is nil")
+	}
+	if o.Duration < 0 {
+		return fmt.Errorf("core: invalid RunOptions: negative Duration %v", o.Duration)
+	}
+	if o.Tick < 0 {
+		return fmt.Errorf("core: invalid RunOptions: negative Tick %v", o.Tick)
+	}
+	if o.SampleEvery < 0 {
+		return fmt.Errorf("core: invalid RunOptions: negative SampleEvery %v", o.SampleEvery)
+	}
+	if o.ReportEvery < 0 {
+		return fmt.Errorf("core: invalid RunOptions: negative ReportEvery %v", o.ReportEvery)
+	}
+	return nil
 }
 
 // Sample is one recorded instant of a run.
@@ -70,6 +103,10 @@ type RunResult struct {
 	// TPLatency is the realignment latency applied after each report
 	// (DAQ + mirror settle), as measured from the devices.
 	MeanTPLatency time.Duration
+	// Metrics is this run's own observability contribution (a diff
+	// against the registry's state when Run started, so shared
+	// registries still yield per-run numbers).
+	Metrics obs.Snapshot
 }
 
 // MeanPointIters returns the average P iterations per realignment.
@@ -98,8 +135,8 @@ func (s *System) Run(opts RunOptions) (RunResult, error) {
 	if !s.calibrated {
 		return RunResult{}, fmt.Errorf("core: system not calibrated")
 	}
-	if opts.Program == nil {
-		return RunResult{}, fmt.Errorf("core: no motion program")
+	if err := opts.Validate(); err != nil {
+		return RunResult{}, err
 	}
 	tick := opts.Tick
 	if tick <= 0 {
@@ -114,9 +151,28 @@ func (s *System) Run(opts RunOptions) (RunResult, error) {
 		sampleEvery = tick
 	}
 
+	// Registry resolution: RunOptions.Metrics, else System.Obs, else a
+	// private registry published to the process default at the end.
+	reg := opts.Metrics
+	if reg == nil {
+		reg = s.Obs
+	}
+	publish := reg == nil
+	if publish {
+		reg = obs.NewRegistry()
+	}
+	startSnap := reg.Snapshot()
+	rm := newRunMetrics(reg)
+	prevPlantMetrics := s.Plant.Metrics
+	s.Plant.Metrics = link.NewPlantMetrics(reg)
+	defer func() { s.Plant.Metrics = prevPlantMetrics }()
+
 	var res RunResult
 	mon := link.NewMonitor(s.Plant.Config.Transceiver)
+	mon.Metrics = link.NewMonitorMetrics(reg)
 	stream := netem.NewStream()
+	stream.Metrics = netem.NewStreamMetrics(reg)
+	popts := pointing.PointOptions{Metrics: pointing.NewMetrics(reg)}
 
 	// Initial state: align at the program's first pose.
 	s.Plant.SetHeadset(opts.Program.Pose(0))
@@ -179,7 +235,8 @@ func (s *System) Run(opts RunOptions) (RunResult, error) {
 			if pendingAt >= 0 {
 				warmV = pendingV
 			}
-			pres, perr := pointing.Point(gt, gr, warmV, pointing.PointOptions{})
+			pres, perr := pointing.Point(gt, gr, warmV, popts)
+			rm.reports.Inc()
 			res.Points++
 			if perr != nil {
 				res.PointFailures++
@@ -191,6 +248,7 @@ func (s *System) Run(opts RunOptions) (RunResult, error) {
 				// TX device's cost without mutating it by using
 				// the spec directly (both ends move in parallel).
 				lat := hardwareLatency(s)
+				rm.repoint.Observe(lat.Seconds())
 				latencySum += lat
 				latencyN++
 				pendingV = pres.V
@@ -236,7 +294,38 @@ func (s *System) Run(opts RunOptions) (RunResult, error) {
 	if latencyN > 0 {
 		res.MeanTPLatency = latencySum / time.Duration(latencyN)
 	}
+	rm.ticks.Add(float64(totalTicks))
+	rm.upTicks.Add(float64(upTicks))
+	res.Metrics = reg.Snapshot().Diff(startSnap)
+	if publish {
+		obs.Default().Merge(res.Metrics)
+	}
 	return res, nil
+}
+
+// runMetrics are the loop-level instruments of core.Run; the per-subsystem
+// instruments (plant power, monitor transitions, pointing iterations,
+// stream totals) are registered by their own packages into the same
+// registry.
+type runMetrics struct {
+	ticks   *obs.Counter
+	upTicks *obs.Counter
+	reports *obs.Counter
+	repoint *obs.Histogram
+}
+
+func newRunMetrics(reg *obs.Registry) runMetrics {
+	return runMetrics{
+		ticks: reg.Counter("cyclops_run_ticks_total",
+			"Simulation ticks executed by core.Run."),
+		upTicks: reg.Counter("cyclops_run_up_ticks_total",
+			"Ticks with the link up (SFP locked)."),
+		reports: reg.Counter("cyclops_run_reports_total",
+			"Tracking reports processed (the 12-13 ms VRH-T cadence unless overridden)."),
+		repoint: reg.Histogram("cyclops_run_repoint_latency_seconds",
+			"Realignment latency per report: DAQ write + mirror settle (paper: 1-2 ms).",
+			[]float64{0.0005, 0.001, 0.00125, 0.0015, 0.00175, 0.002, 0.0025, 0.003, 0.005, 0.01}),
+	}
 }
 
 // hardwareLatency estimates the realignment latency: one DAQ write plus

@@ -14,6 +14,7 @@ import (
 	"cyclops/internal/gma"
 	"cyclops/internal/kspace"
 	"cyclops/internal/link"
+	"cyclops/internal/obs"
 	"cyclops/internal/optics"
 	"cyclops/internal/pointing"
 	"cyclops/internal/vrh"
@@ -29,6 +30,11 @@ type System struct {
 	// stage-2 learned 12 mapping parameters.
 	KTX, KRX gma.Params
 	Map      vrspace.Mapping
+
+	// Obs, when non-nil, receives observability from Calibrate and from
+	// every Run that does not set its own RunOptions.Metrics. Nil sends
+	// the same data to obs.Default() instead.
+	Obs *obs.Registry
 
 	calibrated bool
 	seed       int64
@@ -67,6 +73,24 @@ func (s *System) Calibrate() (CalibrationReport, error) {
 	var rep CalibrationReport
 	rng := rand.New(rand.NewSource(s.seed + 2))
 
+	// Same registry resolution as Run: System.Obs or a private registry
+	// whose contribution is published to the process default. Plant power
+	// reads during tuple collection land here too.
+	reg := s.Obs
+	publish := reg == nil
+	if publish {
+		reg = obs.NewRegistry()
+	}
+	startSnap := reg.Snapshot()
+	prevPlantMetrics := s.Plant.Metrics
+	s.Plant.Metrics = link.NewPlantMetrics(reg)
+	defer func() {
+		s.Plant.Metrics = prevPlantMetrics
+		if publish {
+			obs.Default().Merge(reg.Snapshot().Diff(startSnap))
+		}
+	}()
+
 	kTX, evTX, err := kspace.Calibrate(kspace.NewRig(s.Plant.TXDev, s.seed+3), gma.Nominal())
 	if err != nil {
 		return rep, fmt.Errorf("core: TX stage 1: %w", err)
@@ -98,6 +122,10 @@ func (s *System) Calibrate() (CalibrationReport, error) {
 	if _, err := s.PointNow(0, pointing.Voltages{}); err != nil {
 		return rep, fmt.Errorf("core: initial pointing: %w", err)
 	}
+	reg.Counter("cyclops_calibrations_total",
+		"Full two-stage calibrations completed.").Inc()
+	reg.Counter("cyclops_calibration_tuples_total",
+		"Aligned mapping tuples collected during stage-2 calibration.").Add(float64(rep.Tuples))
 	return rep, nil
 }
 

@@ -12,6 +12,7 @@ import (
 
 	"cyclops/internal/galvo"
 	"cyclops/internal/geom"
+	"cyclops/internal/obs"
 	"cyclops/internal/optics"
 	"cyclops/internal/pointing"
 )
@@ -34,6 +35,11 @@ type Plant struct {
 	// truth — the quantity footnote 8 says must be learned at
 	// deployment.
 	rxMount geom.Pose
+
+	// Metrics, when non-nil, receives a received-power observation on
+	// every radiometry read. core.Run and core.Calibrate attach a
+	// per-run/per-calibration instrument set here and detach it after.
+	Metrics *PlantMetrics
 
 	// FlexCoeff models the RX breadboard's gravity sag: the assembly
 	// shifts within the headset frame by FlexCoeff meters per unit
@@ -194,15 +200,53 @@ func (p *Plant) Misalignment() (optics.Misalignment, error) {
 	}, nil
 }
 
+// PlantMetrics holds the plant's observability instruments.
+type PlantMetrics struct {
+	// Power is the received optical power distribution; geometric
+	// failures (-Inf power) are clamped to the lowest bucket so the
+	// histogram sum stays finite.
+	Power *obs.Histogram
+	Reads *obs.Counter
+}
+
+// NewPlantMetrics registers the plant instruments in reg (nil reg → nil
+// metrics, recording disabled).
+func NewPlantMetrics(reg *obs.Registry) *PlantMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &PlantMetrics{
+		Power: reg.Histogram("cyclops_link_received_power_dbm",
+			"Instantaneous received optical power at the RX SFP, dBm.",
+			[]float64{-60, -45, -40, -35, -30, -27, -24, -21, -18, -15, -12, -9, -6, -3, 0, 3, 6, 9, 12, 15, 18}),
+		Reads: reg.Counter("cyclops_link_power_reads_total",
+			"Radiometry reads (one per simulation tick during a run)."),
+	}
+}
+
+func (m *PlantMetrics) observe(powerDBm float64) {
+	if m == nil {
+		return
+	}
+	m.Reads.Inc()
+	if math.IsInf(powerDBm, -1) {
+		powerDBm = -90 // below every bucket; keeps the sum finite
+	}
+	m.Power.Observe(powerDBm)
+}
+
 // ReceivedPowerDBm returns the instantaneous optical power at the RX SFP.
 // Geometric failure (a beam steered outside its own assembly) reads as no
 // light.
 func (p *Plant) ReceivedPowerDBm() float64 {
 	m, err := p.Misalignment()
 	if err != nil {
+		p.Metrics.observe(math.Inf(-1))
 		return math.Inf(-1)
 	}
-	return p.Config.ReceivedPowerDBm(m)
+	power := p.Config.ReceivedPowerDBm(m)
+	p.Metrics.observe(power)
+	return power
 }
 
 // Connected reports whether instantaneous power clears the SFP

@@ -3,6 +3,7 @@ package link
 import (
 	"time"
 
+	"cyclops/internal/obs"
 	"cyclops/internal/optics"
 )
 
@@ -12,6 +13,9 @@ import (
 // after a loss of signal even though light returned immediately.
 type Monitor struct {
 	t optics.Transceiver
+
+	// Metrics, when non-nil, counts connected-state transitions.
+	Metrics *MonitorMetrics
 
 	up bool
 	// lightSince is when optical power was last continuously above
@@ -26,6 +30,26 @@ func NewMonitor(t optics.Transceiver) *Monitor {
 	return &Monitor{t: t, up: true}
 }
 
+// MonitorMetrics counts the link-state machine's transitions.
+type MonitorMetrics struct {
+	Disconnects *obs.Counter // up → down
+	Reconnects  *obs.Counter // down → up (after the SFP/NIC re-lock)
+}
+
+// NewMonitorMetrics registers the monitor instruments in reg (nil reg →
+// nil metrics, recording disabled).
+func NewMonitorMetrics(reg *obs.Registry) *MonitorMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &MonitorMetrics{
+		Disconnects: reg.Counter("cyclops_link_disconnects_total",
+			"Link up-to-down transitions (loss of signal)."),
+		Reconnects: reg.Counter("cyclops_link_reconnects_total",
+			"Link down-to-up transitions (after the multi-second re-lock)."),
+	}
+}
+
 // Observe feeds one (time, power) sample and returns whether the link is
 // up after it. Samples must be fed in non-decreasing time order.
 func (m *Monitor) Observe(at time.Duration, powerDBm float64) bool {
@@ -34,6 +58,9 @@ func (m *Monitor) Observe(at time.Duration, powerDBm float64) bool {
 		if !light {
 			m.up = false
 			m.hasLight = false
+			if m.Metrics != nil {
+				m.Metrics.Disconnects.Inc()
+			}
 		}
 		return m.up
 	}
@@ -49,6 +76,9 @@ func (m *Monitor) Observe(at time.Duration, powerDBm float64) bool {
 	}
 	if at-m.lightSince >= m.t.RelockDelay {
 		m.up = true
+		if m.Metrics != nil {
+			m.Metrics.Reconnects.Inc()
+		}
 	}
 	return m.up
 }

@@ -12,6 +12,8 @@ package netem
 import (
 	"math"
 	"time"
+
+	"cyclops/internal/obs"
 )
 
 // Window is one throughput measurement: average goodput over the window
@@ -33,6 +35,10 @@ type Stream struct {
 	MTU int
 	// RampTime is the time to return to full rate after an outage.
 	RampTime time.Duration
+	// Metrics, when non-nil, receives the stream's totals (packets,
+	// carried/offered bits, windows) once, when Finish is called —
+	// aggregate flushing keeps the per-tick cost at two float adds.
+	Metrics *StreamMetrics
 
 	cur     time.Duration // current window start
 	bits    float64       // bits delivered in the current window
@@ -45,6 +51,38 @@ type Stream struct {
 	// 1 ms), and truncating per tick would systematically undercount.
 	fracPkts float64
 	windows  []Window
+	// carriedBits / offeredBits total the run: offered counts the line
+	// rate over every tick (up or down), so carried/offered is the
+	// fraction of the link's nominal capacity actually delivered.
+	carriedBits float64
+	offeredBits float64
+	flushed     bool
+}
+
+// StreamMetrics holds the traffic layer's observability instruments.
+type StreamMetrics struct {
+	Packets     *obs.Counter
+	CarriedBits *obs.Counter
+	OfferedBits *obs.Counter
+	Windows     *obs.Counter
+}
+
+// NewStreamMetrics registers the stream instruments in reg (nil reg → nil
+// metrics, recording disabled).
+func NewStreamMetrics(reg *obs.Registry) *StreamMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &StreamMetrics{
+		Packets: reg.Counter("cyclops_netem_packets_total",
+			"MTU-sized packets delivered by the bulk stream."),
+		CarriedBits: reg.Counter("cyclops_netem_carried_bits_total",
+			"Bits actually delivered (after outages and TCP ramp)."),
+		OfferedBits: reg.Counter("cyclops_netem_offered_bits_total",
+			"Bits the link would carry at the optimal rate with zero downtime."),
+		Windows: reg.Counter("cyclops_netem_windows_total",
+			"Completed 50 ms throughput measurement windows."),
+	}
 }
 
 // NewStream builds a stream with the paper's measurement parameters.
@@ -76,6 +114,7 @@ func (s *Stream) Tick(at, tickLen time.Duration, up bool, lineRateGbps float64) 
 	}
 	s.wasUp = up
 
+	s.offeredBits += lineRateGbps * 1e9 * tickLen.Seconds()
 	if up {
 		rate := lineRateGbps
 		if s.RampTime > 0 {
@@ -86,6 +125,7 @@ func (s *Stream) Tick(at, tickLen time.Duration, up bool, lineRateGbps float64) 
 		}
 		bits := rate * 1e9 * tickLen.Seconds()
 		s.bits += bits
+		s.carriedBits += bits
 		s.fracPkts += bits / 8 / float64(s.MTU)
 		if whole := math.Floor(s.fracPkts); whole > 0 {
 			s.packets += int64(whole)
@@ -104,8 +144,26 @@ func (s *Stream) flushWindow() {
 // Finish returns all completed measurements. A partially filled trailing
 // window is discarded — averaging a fraction of a window against the full
 // window length would fabricate a throughput dip that never happened.
+// If Metrics is attached, the stream's totals are flushed into it exactly
+// once, on the first Finish.
 func (s *Stream) Finish() []Window {
+	if s.Metrics != nil && !s.flushed {
+		s.flushed = true
+		s.Metrics.Packets.Add(float64(s.packets))
+		s.Metrics.CarriedBits.Add(s.carriedBits)
+		s.Metrics.OfferedBits.Add(s.offeredBits)
+		s.Metrics.Windows.Add(float64(len(s.windows)))
+	}
 	return s.windows
+}
+
+// CarriedFraction is the share of the link's nominal zero-downtime
+// capacity actually delivered so far (1 means no outages and no ramping).
+func (s *Stream) CarriedFraction() float64 {
+	if s.offeredBits == 0 {
+		return 0
+	}
+	return s.carriedBits / s.offeredBits
 }
 
 // Windows returns the completed measurement windows so far.

@@ -1,0 +1,576 @@
+// Package obs is the repo's dependency-free, deterministic observability
+// layer: counters, gauges, and fixed-bucket histograms registered in a
+// Registry, exposed three ways —
+//
+//   - a stable, sorted text exposition in Prometheus format (Exposition),
+//   - cheap value-type Snapshots with Diff/Merge, embedded in experiment
+//     results (core.RunResult.Metrics, sim.CorpusResult.Metrics),
+//   - a process-wide Default registry the cyclops-bench / cyclops-sim
+//     -metrics flags dump.
+//
+// # Determinism contract
+//
+// The parallel experiment engine (internal/parallel) promises bit-identical
+// results at any worker count, and metrics must not break that. The rules:
+//
+//   - every parallel job records into its own Registry (parallel.MapObs
+//     hands one out per job) — instruments are never shared across jobs;
+//   - per-job Snapshots are merged serially, in job-index order, after the
+//     fan-out returns. Counter increments are integer-valued in practice
+//     (exact in float64 far beyond any realistic count), and histogram
+//     sums merge in a fixed order, so the merged Snapshot — and its text
+//     exposition — is byte-identical for workers 1, 4, 8, or the default
+//     pool;
+//   - reductions never happen inside worker goroutines.
+//
+// All instruments and the Registry are safe for concurrent use (the
+// process-wide Default registry receives merges from concurrent runs), and
+// all methods are nil-receiver-safe so uninstrumented code paths pay one
+// predictable branch and nothing else.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Counter is a monotonically increasing metric. In this codebase counters
+// carry integer-valued increments (ticks, packets, iterations), which keeps
+// float64 accumulation exact and therefore order-independent.
+type Counter struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter by v (negative v is ignored).
+func (c *Counter) Add(v float64) {
+	if c == nil || v <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.v += v
+	c.mu.Unlock()
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}
+
+// Gauge is a set-to-current-value metric. Gauges merge additively across
+// snapshots, so use them for quantities where a sum is meaningful (e.g.
+// per-run totals); ratios belong in a pair of counters.
+type Gauge struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.v = v
+	g.mu.Unlock()
+}
+
+// Add adjusts the gauge by v.
+func (g *Gauge) Add(v float64) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.v += v
+	g.mu.Unlock()
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+// Histogram is a fixed-bucket histogram: Bounds are strictly increasing
+// upper bounds (le), with an implicit +Inf bucket at the end. Buckets are
+// fixed at registration so per-worker histograms always merge exactly.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []uint64 // len(bounds)+1; last is the +Inf bucket
+	sum    float64
+	count  uint64
+}
+
+// Observe records one value. Non-finite values are clamped to the extreme
+// buckets and excluded from the sum (a ±Inf sum would poison every later
+// merge).
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	switch {
+	case math.IsNaN(v):
+		// drop: no bucket is meaningful
+	case math.IsInf(v, 1):
+		h.counts[len(h.counts)-1]++
+		h.count++
+	case math.IsInf(v, -1):
+		h.counts[0]++
+		h.count++
+	default:
+		i := sort.SearchFloat64s(h.bounds, v) // first bound ≥ v → its le bucket
+		h.counts[i]++
+		h.sum += v
+		h.count++
+	}
+	h.mu.Unlock()
+}
+
+// Registry holds named instruments. The zero registry is not usable; call
+// NewRegistry. All methods are safe on a nil *Registry and return nil
+// instruments, whose methods are no-ops.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	help     map[string]string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+		help:     map[string]string{},
+	}
+}
+
+// defaultRegistry is the process-wide registry behind Default().
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry. Per-run registries publish
+// their snapshots here (via Merge) so the -metrics flags have one place to
+// dump; its float sums may differ in the last bit across scheduling orders,
+// which is why determinism guarantees are stated on per-run Snapshots, not
+// on Default.
+func Default() *Registry { return defaultRegistry }
+
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		alpha := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Registry) setHelp(name, help string) {
+	if help != "" && r.help[name] == "" {
+		r.help[name] = help
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, clash := r.gauges[name]; clash {
+		panic(fmt.Sprintf("obs: %q already registered as a gauge", name))
+	}
+	if _, clash := r.hists[name]; clash {
+		panic(fmt.Sprintf("obs: %q already registered as a histogram", name))
+	}
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	r.setHelp(name, help)
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, clash := r.counters[name]; clash {
+		panic(fmt.Sprintf("obs: %q already registered as a counter", name))
+	}
+	if _, clash := r.hists[name]; clash {
+		panic(fmt.Sprintf("obs: %q already registered as a histogram", name))
+	}
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	r.setHelp(name, help)
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use with the
+// given strictly increasing upper bounds. Re-registration with different
+// bounds panics — fixed buckets are what make merges exact.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for i := 1; i < len(bounds); i++ {
+		if !(bounds[i] > bounds[i-1]) {
+			panic(fmt.Sprintf("obs: histogram %q bounds not strictly increasing", name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, clash := r.counters[name]; clash {
+		panic(fmt.Sprintf("obs: %q already registered as a counter", name))
+	}
+	if _, clash := r.gauges[name]; clash {
+		panic(fmt.Sprintf("obs: %q already registered as a gauge", name))
+	}
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{
+			bounds: append([]float64(nil), bounds...),
+			counts: make([]uint64, len(bounds)+1),
+		}
+		r.hists[name] = h
+	} else if !sameBounds(h.bounds, bounds) {
+		panic(fmt.Sprintf("obs: histogram %q re-registered with different bounds", name))
+	}
+	r.setHelp(name, help)
+	return h
+}
+
+func sameBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// HistogramSnapshot is a histogram's frozen state.
+type HistogramSnapshot struct {
+	Bounds []float64
+	Counts []uint64 // len(Bounds)+1; last is the +Inf bucket
+	Sum    float64
+	Count  uint64
+}
+
+// Snapshot is a frozen, value-typed view of a registry — cheap to embed in
+// experiment results and safe to compare, diff, and merge. The zero
+// Snapshot is empty and valid.
+type Snapshot struct {
+	Counters   map[string]float64
+	Gauges     map[string]float64
+	Histograms map[string]HistogramSnapshot
+	// Help carries the registered help strings so a Snapshot's
+	// exposition keeps its # HELP lines.
+	Help map[string]string
+}
+
+// Snapshot freezes the registry's current state.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{}
+	for name, c := range r.counters {
+		if s.Counters == nil {
+			s.Counters = map[string]float64{}
+		}
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		if s.Gauges == nil {
+			s.Gauges = map[string]float64{}
+		}
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		if s.Histograms == nil {
+			s.Histograms = map[string]HistogramSnapshot{}
+		}
+		h.mu.Lock()
+		s.Histograms[name] = HistogramSnapshot{
+			Bounds: append([]float64(nil), h.bounds...),
+			Counts: append([]uint64(nil), h.counts...),
+			Sum:    h.sum,
+			Count:  h.count,
+		}
+		h.mu.Unlock()
+	}
+	for name, help := range r.help {
+		if s.Help == nil {
+			s.Help = map[string]string{}
+		}
+		s.Help[name] = help
+	}
+	return s
+}
+
+// Merge folds a snapshot into the live registry: counters and histogram
+// buckets add, gauges add. Histograms are created with the snapshot's
+// bounds when absent and must match bounds when present.
+func (r *Registry) Merge(s Snapshot) {
+	if r == nil {
+		return
+	}
+	for _, name := range sortedKeys(s.Counters) {
+		r.Counter(name, s.Help[name]).Add(s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		r.Gauge(name, s.Help[name]).Add(s.Gauges[name])
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		hs := s.Histograms[name]
+		h := r.Histogram(name, s.Help[name], hs.Bounds)
+		h.mu.Lock()
+		for i, c := range hs.Counts {
+			h.counts[i] += c
+		}
+		h.sum += hs.Sum
+		h.count += hs.Count
+		h.mu.Unlock()
+	}
+}
+
+// Exposition renders the registry's current state; see Snapshot.Exposition.
+func (r *Registry) Exposition() string { return r.Snapshot().Exposition() }
+
+// Merge returns the union of two snapshots: counters and histogram buckets
+// add, gauges add, help strings union (s wins on conflict). Merging
+// serially in a fixed order yields bit-identical results; histograms with
+// mismatched bounds panic (instrumentation bug).
+func (s Snapshot) Merge(o Snapshot) Snapshot {
+	out := Snapshot{}
+	for _, src := range []map[string]float64{s.Counters, o.Counters} {
+		for name, v := range src {
+			if out.Counters == nil {
+				out.Counters = map[string]float64{}
+			}
+			out.Counters[name] += v
+		}
+	}
+	for _, src := range []map[string]float64{s.Gauges, o.Gauges} {
+		for name, v := range src {
+			if out.Gauges == nil {
+				out.Gauges = map[string]float64{}
+			}
+			out.Gauges[name] += v
+		}
+	}
+	for _, src := range []map[string]HistogramSnapshot{s.Histograms, o.Histograms} {
+		for name, hs := range src {
+			if out.Histograms == nil {
+				out.Histograms = map[string]HistogramSnapshot{}
+			}
+			have, ok := out.Histograms[name]
+			if !ok {
+				out.Histograms[name] = HistogramSnapshot{
+					Bounds: append([]float64(nil), hs.Bounds...),
+					Counts: append([]uint64(nil), hs.Counts...),
+					Sum:    hs.Sum,
+					Count:  hs.Count,
+				}
+				continue
+			}
+			if !sameBounds(have.Bounds, hs.Bounds) {
+				panic(fmt.Sprintf("obs: merge of histogram %q with different bounds", name))
+			}
+			for i, c := range hs.Counts {
+				have.Counts[i] += c
+			}
+			have.Sum += hs.Sum
+			have.Count += hs.Count
+			out.Histograms[name] = have
+		}
+	}
+	for _, src := range []map[string]string{o.Help, s.Help} {
+		for name, help := range src {
+			if help == "" {
+				continue
+			}
+			if out.Help == nil {
+				out.Help = map[string]string{}
+			}
+			out.Help[name] = help
+		}
+	}
+	return out
+}
+
+// MergeAll reduces snapshots serially, in slice order — the reduction step
+// for parallel.MapObs' per-job registries.
+func MergeAll(snaps []Snapshot) Snapshot {
+	var out Snapshot
+	for _, s := range snaps {
+		out = out.Merge(s)
+	}
+	return out
+}
+
+// Diff returns s minus prev: counters and histogram buckets subtract
+// (clamped at zero), gauges keep s's current value. Use it to isolate what
+// one run contributed to a shared registry.
+func (s Snapshot) Diff(prev Snapshot) Snapshot {
+	out := Snapshot{}
+	for name, v := range s.Counters {
+		if out.Counters == nil {
+			out.Counters = map[string]float64{}
+		}
+		d := v - prev.Counters[name]
+		if d < 0 {
+			d = 0
+		}
+		out.Counters[name] = d
+	}
+	for name, v := range s.Gauges {
+		if out.Gauges == nil {
+			out.Gauges = map[string]float64{}
+		}
+		out.Gauges[name] = v
+	}
+	for name, hs := range s.Histograms {
+		if out.Histograms == nil {
+			out.Histograms = map[string]HistogramSnapshot{}
+		}
+		d := HistogramSnapshot{
+			Bounds: append([]float64(nil), hs.Bounds...),
+			Counts: append([]uint64(nil), hs.Counts...),
+			Sum:    hs.Sum,
+			Count:  hs.Count,
+		}
+		if ps, ok := prev.Histograms[name]; ok && sameBounds(ps.Bounds, hs.Bounds) {
+			for i := range d.Counts {
+				if d.Counts[i] >= ps.Counts[i] {
+					d.Counts[i] -= ps.Counts[i]
+				} else {
+					d.Counts[i] = 0
+				}
+			}
+			d.Sum -= ps.Sum
+			if d.Count >= ps.Count {
+				d.Count -= ps.Count
+			} else {
+				d.Count = 0
+			}
+		}
+		out.Histograms[name] = d
+	}
+	for name, help := range s.Help {
+		if out.Help == nil {
+			out.Help = map[string]string{}
+		}
+		out.Help[name] = help
+	}
+	return out
+}
+
+// Exposition renders the snapshot in Prometheus text exposition format,
+// families sorted by name, values formatted with the shortest exact
+// representation — the same bytes for the same snapshot, always.
+func (s Snapshot) Exposition() string {
+	var b strings.Builder
+	names := make([]string, 0, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
+	kind := map[string]string{}
+	for name := range s.Counters {
+		names = append(names, name)
+		kind[name] = "counter"
+	}
+	for name := range s.Gauges {
+		names = append(names, name)
+		kind[name] = "gauge"
+	}
+	for name := range s.Histograms {
+		names = append(names, name)
+		kind[name] = "histogram"
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if help := s.Help[name]; help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", name, help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", name, kind[name])
+		switch kind[name] {
+		case "counter":
+			fmt.Fprintf(&b, "%s %s\n", name, fmtFloat(s.Counters[name]))
+		case "gauge":
+			fmt.Fprintf(&b, "%s %s\n", name, fmtFloat(s.Gauges[name]))
+		case "histogram":
+			hs := s.Histograms[name]
+			var cum uint64
+			for i, bound := range hs.Bounds {
+				cum += hs.Counts[i]
+				fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", name, fmtFloat(bound), cum)
+			}
+			if len(hs.Counts) > 0 {
+				cum += hs.Counts[len(hs.Counts)-1]
+			}
+			fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+			fmt.Fprintf(&b, "%s_sum %s\n", name, fmtFloat(hs.Sum))
+			fmt.Fprintf(&b, "%s_count %d\n", name, hs.Count)
+		}
+	}
+	return b.String()
+}
+
+func fmtFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

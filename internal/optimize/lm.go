@@ -14,6 +14,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
+
+	"cyclops/internal/obs"
 )
 
 // ResidualFunc evaluates the residual vector for parameter vector x,
@@ -61,8 +64,35 @@ type Result struct {
 	Cost       float64   // ½·Σ r²  at X
 	RMSE       float64   // sqrt(Σ r² / m)
 	Iterations int
-	Converged  bool
-	Reason     string // human-readable stop reason
+	// FuncEvals counts residual/objective function evaluations — the
+	// calibration cost metric (Jacobians dominate for LM).
+	FuncEvals int
+	Converged bool
+	Reason    string // human-readable stop reason
+}
+
+// The solvers publish aggregate eval/fit counts to the process-default
+// registry: calibration runs deep inside kspace/vrspace with no registry
+// in scope, and the counts are integer-valued so concurrent fits still
+// total exactly.
+var (
+	solverMetricsOnce sync.Once
+	lmFits, lmEvals   *obs.Counter
+	nmRuns, nmEvals   *obs.Counter
+)
+
+func solverMetrics() {
+	solverMetricsOnce.Do(func() {
+		r := obs.Default()
+		lmFits = r.Counter("cyclops_optimize_lm_fits_total",
+			"Levenberg-Marquardt fits run (both calibration stages).")
+		lmEvals = r.Counter("cyclops_optimize_lm_evals_total",
+			"Residual-function evaluations across all LM fits.")
+		nmRuns = r.Counter("cyclops_optimize_nm_runs_total",
+			"Nelder-Mead minimizations run.")
+		nmEvals = r.Counter("cyclops_optimize_nm_evals_total",
+			"Objective evaluations across all Nelder-Mead runs.")
+	})
 }
 
 func (r Result) String() string {
@@ -78,6 +108,17 @@ var ErrBadProblem = errors.New("optimize: malformed problem")
 // LeastSquares minimizes ½·Σ f(x)² with Levenberg–Marquardt starting from
 // x0, evaluating m residuals per call. x0 is not modified.
 func LeastSquares(f ResidualFunc, x0 []float64, m int, opts LMOptions) (Result, error) {
+	solverMetrics()
+	evals := 0
+	counted := func(x, out []float64) { evals++; f(x, out) }
+	res, err := leastSquares(counted, x0, m, opts)
+	res.FuncEvals = evals
+	lmFits.Inc()
+	lmEvals.Add(float64(evals))
+	return res, err
+}
+
+func leastSquares(f ResidualFunc, x0 []float64, m int, opts LMOptions) (Result, error) {
 	opts.defaults()
 	n := len(x0)
 	if n == 0 || m == 0 {

@@ -44,6 +44,17 @@ func (o *NMOptions) defaults() {
 // smooth — e.g. received optical power as a function of galvo voltages,
 // which plateaus at zero outside the capture cone.
 func NelderMead(f ObjectiveFunc, x0 []float64, opts NMOptions) Result {
+	solverMetrics()
+	evals := 0
+	counted := func(x []float64) float64 { evals++; return f(x) }
+	res := nelderMead(counted, x0, opts)
+	res.FuncEvals = evals
+	nmRuns.Inc()
+	nmEvals.Add(float64(evals))
+	return res
+}
+
+func nelderMead(f ObjectiveFunc, x0 []float64, opts NMOptions) Result {
 	opts.defaults()
 	n := len(x0)
 	if n == 0 {

@@ -5,6 +5,7 @@ import (
 
 	"cyclops/internal/geom"
 	"cyclops/internal/gma"
+	"cyclops/internal/obs"
 )
 
 // Voltages are the four GM drive values of the pointing function
@@ -24,6 +25,51 @@ type PointOptions struct {
 	MaxIter int
 	// GPrime configures the inner G′ solves.
 	GPrime GPrimeOptions
+	// Metrics, when non-nil, receives per-solve observability: solve and
+	// failure counts plus P / G′ iteration histograms.
+	Metrics *Metrics
+}
+
+// Metrics holds the pointing solver's observability instruments. All
+// fields are nil-safe, so a nil *Metrics (or one built from a nil
+// registry) costs one branch per solve.
+type Metrics struct {
+	Solves      *obs.Counter
+	Failures    *obs.Counter
+	Iterations  *obs.Histogram // outer P rounds per solve
+	GPrimeIters *obs.Histogram // total inner G′ iterations per solve
+}
+
+// NewMetrics registers the pointing instruments in reg (nil reg → nil
+// metrics, all recording disabled).
+func NewMetrics(reg *obs.Registry) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	return &Metrics{
+		Solves: reg.Counter("cyclops_pointing_solves_total",
+			"Pointing function P solves attempted."),
+		Failures: reg.Counter("cyclops_pointing_failures_total",
+			"P solves that stopped without converging."),
+		Iterations: reg.Histogram("cyclops_pointing_iterations",
+			"Outer fixed-point rounds per P solve (paper: 2-5).",
+			[]float64{1, 2, 3, 4, 5, 6, 8, 10, 15, 25}),
+		GPrimeIters: reg.Histogram("cyclops_pointing_gprime_iterations",
+			"Total inner G' iterations per P solve, both terminals (paper: 2-4 per solve).",
+			[]float64{2, 4, 6, 8, 12, 16, 24, 32, 48, 64}),
+	}
+}
+
+func (m *Metrics) record(res Result, err error) {
+	if m == nil {
+		return
+	}
+	m.Solves.Inc()
+	if err != nil {
+		m.Failures.Inc()
+	}
+	m.Iterations.Observe(float64(res.Iterations))
+	m.GPrimeIters.Observe(float64(res.GPrimeIterations))
 }
 
 func (o *PointOptions) defaults() {
@@ -58,6 +104,12 @@ type Result struct {
 // G′, until the voltages stop moving.
 func Point(gt, gr gma.Params, start Voltages, opts PointOptions) (Result, error) {
 	opts.defaults()
+	res, err := point(gt, gr, start, opts)
+	opts.Metrics.record(res, err)
+	return res, err
+}
+
+func point(gt, gr gma.Params, start Voltages, opts PointOptions) (Result, error) {
 	v := start
 	res := Result{V: v}
 

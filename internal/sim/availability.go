@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"time"
 
+	"cyclops/internal/obs"
 	"cyclops/internal/parallel"
 	"cyclops/internal/trace"
 )
@@ -153,6 +154,27 @@ func SimulateTrace(tr trace.Trace, p AvailabilityParams) TraceResult {
 	return res
 }
 
+// SimulateTraceObs is SimulateTrace with observability: the per-trace
+// aggregates (slots, off slots, off-fraction distribution) are recorded
+// into reg. Recording happens once per trace — never per slot — so the
+// hot loop's cost is untouched.
+func SimulateTraceObs(tr trace.Trace, p AvailabilityParams, reg *obs.Registry) TraceResult {
+	res := SimulateTrace(tr, p)
+	if reg != nil {
+		reg.Counter("cyclops_sim_traces_total",
+			"Head-motion traces run through the 5.4 slot model.").Inc()
+		reg.Counter("cyclops_sim_slots_total",
+			"1 ms availability slots simulated.").Add(float64(res.Slots))
+		reg.Counter("cyclops_sim_off_slots_total",
+			"Slots with the link disconnected.").Add(float64(res.OffSlots))
+		reg.Histogram("cyclops_sim_trace_off_fraction",
+			"Per-trace disconnected fraction (the Fig 16 CDF's underlying distribution).",
+			[]float64{0, 0.0005, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1}).
+			Observe(1 - res.OnFraction)
+	}
+	return res
+}
+
 // CorpusResult aggregates a full dataset run — the data behind Fig 16.
 type CorpusResult struct {
 	PerTrace []TraceResult
@@ -162,6 +184,11 @@ type CorpusResult struct {
 	// MinOnFraction / MaxOnFraction bound the per-trace spread (95 % to
 	// 99.98 % in the paper).
 	MinOnFraction, MaxOnFraction float64
+	// Metrics is the corpus's observability snapshot: every trace
+	// simulation records into its own per-job registry, and the
+	// snapshots reduce serially in trace order — byte-identical for any
+	// worker count, like every other field here.
+	Metrics obs.Snapshot
 }
 
 func (c CorpusResult) String() string {
@@ -182,9 +209,10 @@ func SimulateCorpus(traces []trace.Trace, p AvailabilityParams) CorpusResult {
 // Every worker count produces the same CorpusResult bit for bit.
 func SimulateCorpusWorkers(traces []trace.Trace, p AvailabilityParams, workers int) CorpusResult {
 	var c CorpusResult
-	c.PerTrace = parallel.Map(len(traces), workers, func(i int) TraceResult {
-		return SimulateTrace(traces[i], p)
+	c.PerTrace, c.Metrics = parallel.MapObs(len(traces), workers, func(i int, reg *obs.Registry) TraceResult {
+		return SimulateTraceObs(traces[i], p, reg)
 	})
+	obs.Default().Merge(c.Metrics)
 	// Reductions run serially over the ordered results — min/max/mean
 	// must never be accumulated inside the workers.
 	var slots, off int

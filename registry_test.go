@@ -1,0 +1,81 @@
+package cyclops
+
+import (
+	"strings"
+	"testing"
+)
+
+// The registry must cover the full evaluation suite, in the order
+// cyclops-bench has always run it, under the names it has always used.
+func TestExperimentsRegistryNames(t *testing.T) {
+	want := []string{
+		"fig3", "table1", "fig11", "table2", "tp",
+		"fig13", "fig14", "fig15", "table3", "fig16",
+		"convergence", "ablations", "extensions",
+	}
+	exps := Experiments()
+	if len(exps) != len(want) {
+		t.Fatalf("Experiments() returned %d entries, want %d", len(exps), len(want))
+	}
+	for i, e := range exps {
+		if e.Name() != want[i] {
+			t.Errorf("Experiments()[%d].Name() = %q, want %q", i, e.Name(), want[i])
+		}
+	}
+}
+
+func TestLookupExperiment(t *testing.T) {
+	if _, ok := LookupExperiment("fig16"); !ok {
+		t.Error("LookupExperiment(fig16) not found")
+	}
+	if _, ok := LookupExperiment("Fig16"); !ok {
+		t.Error("LookupExperiment is expected to be case-insensitive")
+	}
+	if _, ok := LookupExperiment("fig99"); ok {
+		t.Error("LookupExperiment(fig99) unexpectedly found")
+	}
+}
+
+// The registry adapters must render exactly what the underlying functions
+// render — callers switching from Table1() to the Experiment surface see
+// the same report. Checked on the cheap closed-form experiments.
+func TestRegistryMatchesDirectCalls(t *testing.T) {
+	cases := []struct {
+		name string
+		want string
+	}{
+		{"table1", Table1().Render()},
+		{"fig11", Fig11().Render()},
+		{"fig3", Fig3(1, 25).Render()},
+	}
+	for _, c := range cases {
+		e, ok := LookupExperiment(c.name)
+		if !ok {
+			t.Fatalf("LookupExperiment(%q) not found", c.name)
+		}
+		res, err := e.Run(1)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if got := res.Render(); got != c.want {
+			t.Errorf("%s: registry render differs from direct call:\nregistry:\n%s\ndirect:\n%s",
+				c.name, got, c.want)
+		}
+	}
+}
+
+// Convergence through the registry exercises a full oracle-model run and
+// its rendered report — a smoke test that multi-layer dispatch works.
+func TestRegistryConvergence(t *testing.T) {
+	e, ok := LookupExperiment("convergence")
+	if !ok {
+		t.Fatal("convergence not registered")
+	}
+	res, err := e.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Render(), "convergence") {
+		t.Errorf("unexpected render: %q", res.Render())
+	}
+}

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race verify bench metrics-smoke clean
+.PHONY: all build vet test race verify bench bench-hotpath alloc-check metrics-smoke clean
 
 all: verify
 
@@ -23,7 +23,15 @@ verify:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(MAKE) alloc-check
 	$(MAKE) metrics-smoke
+
+# Allocation-regression gate for the compiled hot path: the zero-alloc
+# contracts on Compiled.Beam, G', and P are pinned by AllocsPerRun tests;
+# run them without -race (the race detector inserts allocations).
+alloc-check:
+	$(GO) test -run 'ZeroAllocs' -count 1 ./internal/gma/ ./internal/pointing/
+	@echo "alloc-check: ok"
 
 # End-to-end observability check: a real cyclops-bench run with -metrics
 # must emit valid Prometheus text exposition containing the key
@@ -33,6 +41,7 @@ verify:
 metrics-smoke:
 	$(GO) run ./cmd/cyclops-bench -experiment convergence -parallel 2 -metrics .metrics_smoke.prom
 	grep -q '^cyclops_pointing_iterations_bucket{le="' .metrics_smoke.prom
+	grep -q '^cyclops_pointing_beam_evals_total ' .metrics_smoke.prom
 	grep -q '^cyclops_link_received_power_dbm_bucket{le="' .metrics_smoke.prom
 	grep -q '^cyclops_link_disconnects_total ' .metrics_smoke.prom
 	grep -q '^cyclops_netem_packets_total ' .metrics_smoke.prom
@@ -61,6 +70,39 @@ bench:
 	rm -f .bench_parallel.txt
 	cat BENCH_parallel.json
 
+# Hot-path benchmark suite: micro-benchmarks for the compiled GMA model
+# and the warm G'/P solves, plus the serial Fig 16 corpus, recorded into
+# BENCH_hotpath.json. HOTPATH_BASELINE_NS is the serial corpus median
+# measured at the last pre-hotpath commit on the reference host (git
+# stash A/B, -benchtime 10x -count 3); re-measure it via `git stash`
+# when comparing on different hardware.
+HOTPATH_BASELINE_NS ?= 889917158
+
+bench-hotpath:
+	$(GO) test -run '^$$' -bench '^BenchmarkFig16TraceAvailabilitySerial$$' -benchtime 10x -count 3 . | tee .bench_hotpath.txt
+	$(GO) test -run '^$$' -bench . -benchtime 1s ./internal/gma/ ./internal/pointing/ | tee -a .bench_hotpath.txt
+	awk -v base=$(HOTPATH_BASELINE_NS) ' \
+	/^BenchmarkFig16TraceAvailabilitySerial/ { \
+		cn++; csum += $$3; \
+		if (cmin == 0 || $$3 < cmin) cmin = $$3; \
+		if ($$3 > cmax) cmax = $$3; \
+	} \
+	/^BenchmarkParamsBeam/        { pbeam = $$3 } \
+	/^BenchmarkCompiledBeam/      { cbeam = $$3 } \
+	/^BenchmarkCompile /          { comp = $$3 } \
+	/^BenchmarkGPrimeWarm /       { gw = $$3 } \
+	/^BenchmarkGPrimeWarmUncompiled/ { gwu = $$3 } \
+	/^BenchmarkPointWarm/         { pw = $$3 } \
+	/^BenchmarkPointColdStart/    { pc = $$3 } \
+	END { \
+		if (cn == 0) { print "bench-hotpath: missing corpus benchmark output" > "/dev/stderr"; exit 1 } \
+		corpus = (cn == 3 ? csum - cmin - cmax : csum / cn); \
+		printf "{\n  \"benchmark\": \"Fig16TraceAvailabilitySerial\",\n  \"note\": \"compiled GMA hot path; baseline is the pre-hotpath serial corpus median (see Makefile HOTPATH_BASELINE_NS)\",\n  \"corpus\": {\n    \"before_median_ns_per_op\": %.0f,\n    \"after_median_ns_per_op\": %.0f,\n    \"speedup\": %.2f,\n    \"target_speedup\": 1.5\n  },\n  \"micro\": {\n    \"gma_params_beam_ns_per_op\": %s,\n    \"gma_compiled_beam_ns_per_op\": %s,\n    \"gma_compile_ns_per_op\": %s,\n    \"pointing_gprime_warm_ns_per_op\": %s,\n    \"pointing_gprime_warm_uncompiled_ns_per_op\": %s,\n    \"pointing_point_warm_ns_per_op\": %s,\n    \"pointing_point_cold_ns_per_op\": %s\n  },\n  \"allocs_per_op\": {\n    \"gma_compiled_beam\": 0,\n    \"pointing_gprime_compiled\": 0,\n    \"pointing_point_compiled\": 0\n  }\n}\n", \
+			base, corpus, base / corpus, pbeam, cbeam, comp, gw, gwu, pw, pc; \
+	}' .bench_hotpath.txt > BENCH_hotpath.json
+	rm -f .bench_hotpath.txt
+	cat BENCH_hotpath.json
+
 clean:
-	rm -f BENCH_parallel.json .bench_parallel.txt .metrics_smoke.prom
+	rm -f BENCH_parallel.json BENCH_hotpath.json .bench_parallel.txt .bench_hotpath.txt .metrics_smoke.prom
 	$(GO) clean ./...

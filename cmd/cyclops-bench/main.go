@@ -13,7 +13,9 @@
 //
 // -parallel sets the fan-out width for the corpus simulations and
 // multi-rig experiments (0, the default, uses every core). Results are
-// bit-identical for any worker count.
+// bit-identical for any worker count, and every worker runs the solvers
+// on precompiled GMA models (gma.Compiled — see DESIGN.md §8 and
+// BENCH_hotpath.json for the measured speedup).
 //
 // -metrics writes the process-wide registry as Prometheus text exposition
 // to the given file when the run completes. -pprof serves

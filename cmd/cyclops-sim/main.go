@@ -12,7 +12,9 @@
 //
 // -experiment bypasses the interactive run and executes a named entry of
 // the cyclops.Experiments registry instead (same names as cyclops-bench).
-// -metrics writes the run's Prometheus text exposition to a file on exit.
+// -metrics writes the run's Prometheus text exposition to a file on exit;
+// the exposition includes cyclops_pointing_beam_evals_total, the forward
+// GMA-model evaluation budget the realignment loop consumed.
 package main
 
 import (

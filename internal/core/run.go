@@ -182,13 +182,18 @@ func (s *System) Run(opts RunOptions) (RunResult, error) {
 	}
 	lastV := first.V
 
-	gt := s.Map.TXModel(s.KTX)
+	// The TX model does not depend on the headset pose: compile it once
+	// and every P solve of the run reuses the precomputed form.
+	gt := s.Map.TXModel(s.KTX).Compile()
 
 	// Recent reports, kept over a 50 ms horizon: the paper measures
 	// speed as the VRH-T displacement across each 50 ms window, which
-	// averages down the per-report tracking noise.
+	// averages down the per-report tracking noise. The ring reuses one
+	// backing array for the whole run; the old slice-and-reslice window
+	// (recent = recent[1:]) leaked capacity and reallocated on every
+	// window's worth of reports.
 	const speedWindow = 50 * time.Millisecond
-	var recent []vrh.Report
+	var recent reportRing
 	reportInterval := func() time.Duration {
 		if opts.ReportEvery > 0 {
 			return opts.ReportEvery
@@ -208,6 +213,11 @@ func (s *System) Run(opts RunOptions) (RunResult, error) {
 	wasUp := true
 	var nextSample time.Duration
 
+	// One sample lands every sampleEvery from 0 through dur inclusive;
+	// sizing the slice up front keeps the record step allocation-free
+	// (away from the periodic growth copies append would do).
+	res.Samples = make([]Sample, 0, dur/sampleEvery+1)
+
 	for at := time.Duration(0); at <= dur; at += tick {
 		s.Plant.SetHeadset(opts.Program.Pose(at))
 
@@ -221,12 +231,15 @@ func (s *System) Run(opts RunOptions) (RunResult, error) {
 		// Tracking report due?
 		if at >= nextReport && !opts.DisableTP {
 			rep := s.Tracker.Report(s.Plant.Headset(), at)
-			recent = append(recent, rep)
-			for len(recent) > 1 && rep.At-recent[0].At > speedWindow {
-				recent = recent[1:]
+			recent.push(rep)
+			for recent.len() > 1 && rep.At-recent.front().At > speedWindow {
+				recent.popFront()
 			}
 
-			gr := s.Map.RXModel(s.KRX, rep.Pose)
+			// The RX model rides on the headset: transformed and
+			// compiled once per report, then shared by every Beam
+			// evaluation inside the solve.
+			gr := s.Map.RXModel(s.KRX, rep.Pose).Compile()
 			// Warm-start from where the mirrors will actually be when
 			// the new command lands: if a command is still in flight,
 			// the mirrors are already moving to pendingV, and lastV is
@@ -235,7 +248,7 @@ func (s *System) Run(opts RunOptions) (RunResult, error) {
 			if pendingAt >= 0 {
 				warmV = pendingV
 			}
-			pres, perr := pointing.Point(gt, gr, warmV, popts)
+			pres, perr := pointing.PointCompiled(&gt, &gr, warmV, popts)
 			rm.reports.Inc()
 			res.Points++
 			if perr != nil {
@@ -272,8 +285,8 @@ func (s *System) Run(opts RunOptions) (RunResult, error) {
 
 		if at >= nextSample {
 			var lin, ang float64
-			if len(recent) >= 2 {
-				lin, ang = vrh.Speeds(recent[0], recent[len(recent)-1])
+			if recent.len() >= 2 {
+				lin, ang = vrh.Speeds(recent.front(), recent.back())
 			}
 			res.Samples = append(res.Samples, Sample{
 				At:       at,
@@ -301,6 +314,43 @@ func (s *System) Run(opts RunOptions) (RunResult, error) {
 		obs.Default().Merge(res.Metrics)
 	}
 	return res, nil
+}
+
+// reportRing is the 50 ms speed window's report queue: push at the back,
+// pop expired reports from the front, peek both ends. It reuses one
+// backing array (growing only if a run's report cadence packs more
+// reports into the window than ever before), unlike the previous
+// recent = recent[1:] window which abandoned a slot per expiry and forced
+// append into a fresh allocation once the original array filled.
+type reportRing struct {
+	buf  []vrh.Report
+	head int // index of the oldest report
+	n    int
+}
+
+func (r *reportRing) len() int { return r.n }
+
+func (r *reportRing) push(rep vrh.Report) {
+	if r.n == len(r.buf) {
+		grown := make([]vrh.Report, 2*r.n+8)
+		for i := 0; i < r.n; i++ {
+			grown[i] = r.buf[(r.head+i)%len(r.buf)]
+		}
+		r.buf, r.head = grown, 0
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = rep
+	r.n++
+}
+
+func (r *reportRing) popFront() {
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+}
+
+func (r *reportRing) front() vrh.Report { return r.buf[r.head] }
+
+func (r *reportRing) back() vrh.Report {
+	return r.buf[(r.head+r.n-1)%len(r.buf)]
 }
 
 // runMetrics are the loop-level instruments of core.Run; the per-subsystem

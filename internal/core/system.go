@@ -154,9 +154,9 @@ func (s *System) PointNow(at time.Duration, start pointing.Voltages) (pointing.R
 		return pointing.Result{}, fmt.Errorf("core: system not calibrated")
 	}
 	rep := s.Tracker.Report(s.Plant.Headset(), at)
-	gt := s.Map.TXModel(s.KTX)
-	gr := s.Map.RXModel(s.KRX, rep.Pose)
-	res, err := pointing.Point(gt, gr, start, pointing.PointOptions{})
+	gt := s.Map.TXModel(s.KTX).Compile()
+	gr := s.Map.RXModel(s.KRX, rep.Pose).Compile()
+	res, err := pointing.PointCompiled(&gt, &gr, start, pointing.PointOptions{})
 	if err != nil {
 		return res, err
 	}

@@ -29,9 +29,13 @@ type Device struct {
 	mu sync.Mutex
 
 	truth gma.Params
-	spec  optics.GalvoSpec
-	daq   optics.DAQSpec
-	rng   *rand.Rand
+	// truthC is the compiled truth model: Beam/BeamAt run on every
+	// plant power read (once per 1 ms tick), and the compilation hoists
+	// the voltage-independent geometry once at construction.
+	truthC gma.Compiled
+	spec   optics.GalvoSpec
+	daq    optics.DAQSpec
+	rng    *rand.Rand
 
 	v1, v2 float64 // commanded voltages after clamping+quantization
 
@@ -55,6 +59,7 @@ func WithSlewRate(r float64) Option {
 func New(truth gma.Params, spec optics.GalvoSpec, daq optics.DAQSpec, seed int64, opts ...Option) *Device {
 	d := &Device{
 		truth:    truth,
+		truthC:   truth.Compile(),
 		spec:     spec,
 		daq:      daq,
 		rng:      rand.New(rand.NewSource(seed)),
@@ -122,7 +127,7 @@ func (d *Device) Beam() (geom.Ray, error) {
 	sigmaV := d.spec.AngularAccuracy / 2 / d.truth.Theta1
 	n1 := d.v1 + d.rng.NormFloat64()*sigmaV
 	n2 := d.v2 + d.rng.NormFloat64()*sigmaV
-	return d.truth.Beam(n1, n2)
+	return d.truthC.Beam(n1, n2)
 }
 
 // BeamAt evaluates the emitted beam for explicit voltages without changing
@@ -134,7 +139,7 @@ func (d *Device) BeamAt(v1, v2 float64) (geom.Ray, error) {
 	sigmaV := d.spec.AngularAccuracy / 2 / d.truth.Theta1
 	q1 := d.quantize(clamp(v1, d.daq.OutputRange)) + d.rng.NormFloat64()*sigmaV
 	q2 := d.quantize(clamp(v2, d.daq.OutputRange)) + d.rng.NormFloat64()*sigmaV
-	return d.truth.Beam(q1, q2)
+	return d.truthC.Beam(q1, q2)
 }
 
 // Truth exposes the hidden geometry. It exists for test oracles and for

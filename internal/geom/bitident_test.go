@@ -1,0 +1,136 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The hot-path rewrites in this package (specialized QuatFromEuler, the
+// W-only AngleTo product, the Unit/Normalize identity fast paths) carry a
+// bit-identity contract: they must return exactly the floats the generic
+// formulations produce, because the §5.4 corpus results and the obs
+// exposition are pinned byte for byte. These tests enforce the contract
+// against straightforward reference implementations.
+
+func quatBits(q Quat) [4]uint64 {
+	return [4]uint64{
+		math.Float64bits(q.W), math.Float64bits(q.X),
+		math.Float64bits(q.Y), math.Float64bits(q.Z),
+	}
+}
+
+// referenceQuatFromEuler is the original generic composition.
+func referenceQuatFromEuler(yaw, pitch, roll float64) Quat {
+	qy := QuatFromAxisAngle(Vec3{0, 1, 0}, yaw)
+	qx := QuatFromAxisAngle(Vec3{1, 0, 0}, pitch)
+	qz := QuatFromAxisAngle(Vec3{0, 0, 1}, roll)
+	return qy.Mul(qx).Mul(qz)
+}
+
+func TestQuatFromEulerBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	angles := []float64{0, math.Copysign(0, -1), math.Pi, -math.Pi,
+		math.Pi / 2, -math.Pi / 2, 1e-300, -1e-300}
+	check := func(yaw, pitch, roll float64) {
+		t.Helper()
+		got := QuatFromEuler(yaw, pitch, roll)
+		want := referenceQuatFromEuler(yaw, pitch, roll)
+		if quatBits(got) != quatBits(want) {
+			t.Fatalf("QuatFromEuler(%v, %v, %v) = %#v, generic path gives %#v",
+				yaw, pitch, roll, got, want)
+		}
+	}
+	// Edge angles in every slot, including exact zeros of both signs —
+	// the sign-of-zero propagation through the expanded products is the
+	// subtle part of the specialization.
+	for _, y := range angles {
+		for _, p := range angles {
+			for _, r := range angles {
+				check(y, p, r)
+			}
+		}
+	}
+	for i := 0; i < 200000; i++ {
+		check(rng.NormFloat64(), rng.NormFloat64()*0.3, rng.NormFloat64()*0.2)
+	}
+}
+
+// TestSincosBitIdentical pins the assumption QuatFromEuler (and the
+// compiled GMA evaluator) lean on: math.Sincos returns exactly
+// (math.Sin(x), math.Cos(x)).
+func TestSincosBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	check := func(x float64) {
+		t.Helper()
+		s, c := math.Sincos(x)
+		if math.Float64bits(s) != math.Float64bits(math.Sin(x)) ||
+			math.Float64bits(c) != math.Float64bits(math.Cos(x)) {
+			t.Fatalf("Sincos(%v) = (%v, %v), want (%v, %v)",
+				x, s, c, math.Sin(x), math.Cos(x))
+		}
+	}
+	for _, x := range []float64{0, math.Copysign(0, -1), math.Pi, -math.Pi,
+		math.Pi / 2, 1e-308, 1e300, -1e300} {
+		check(x)
+	}
+	for i := 0; i < 500000; i++ {
+		check(rng.NormFloat64() * math.Pi)
+	}
+}
+
+func TestAngleToBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	reference := func(q, r Quat) float64 {
+		d := q.Normalize().Conj().Mul(r.Normalize())
+		w := math.Abs(d.W)
+		if w > 1 {
+			w = 1
+		}
+		return 2 * math.Acos(w)
+	}
+	randQuat := func() Quat {
+		return Quat{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+	}
+	for i := 0; i < 200000; i++ {
+		q, r := randQuat().Normalize(), randQuat().Normalize()
+		if i%16 == 0 {
+			r = q // zero-angle case: the product W lands exactly on ±1
+		}
+		got, want := q.AngleTo(r), reference(q, r)
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("AngleTo: got %v (%x), reference %v (%x)",
+				got, math.Float64bits(got), want, math.Float64bits(want))
+		}
+	}
+}
+
+// TestUnitNormalizeFastPaths verifies the n==1 shortcuts agree with the
+// full division path on inputs whose norm computes to exactly 1.
+func TestUnitNormalizeFastPaths(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	hitsV, hitsQ := 0, 0
+	for i := 0; i < 100000; i++ {
+		v := V(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()).Unit()
+		if n := v.Norm(); n == 1 {
+			hitsV++
+			full := v.Scale(1 / n)
+			if math.Float64bits(full.X) != math.Float64bits(v.X) ||
+				math.Float64bits(full.Y) != math.Float64bits(v.Y) ||
+				math.Float64bits(full.Z) != math.Float64bits(v.Z) {
+				t.Fatalf("Unit fast path diverges on %v", v)
+			}
+		}
+		q := Quat{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}.Normalize()
+		if n := q.Norm(); n == 1 {
+			hitsQ++
+			full := Quat{q.W / n, q.X / n, q.Y / n, q.Z / n}
+			if quatBits(full) != quatBits(q.Normalize()) {
+				t.Fatalf("Normalize fast path diverges on %#v", q)
+			}
+		}
+	}
+	if hitsV == 0 || hitsQ == 0 {
+		t.Fatalf("fast paths never exercised (hitsV=%d hitsQ=%d)", hitsV, hitsQ)
+	}
+}

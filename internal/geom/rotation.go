@@ -119,11 +119,33 @@ func QuatFromAxisAngle(axis Vec3, theta float64) Quat {
 // QuatFromEuler builds a quaternion from intrinsic yaw (about +Y), pitch
 // (about +X), then roll (about +Z) angles in radians. This matches the
 // yaw/pitch/roll convention used for head-motion traces.
+//
+// The body is the composition qy·qx·qz expanded term by term, with the
+// structurally-zero axis components kept as 0·sin(θ/2) products so every
+// intermediate (including the sign of zeros) matches the generic
+// QuatFromAxisAngle/Mul path bit for bit — trace generation calls this
+// once per sample, and the §5.4 corpus is pinned to byte-identical
+// output. TestQuatFromEulerBitIdentical enforces the equivalence.
 func QuatFromEuler(yaw, pitch, roll float64) Quat {
-	qy := QuatFromAxisAngle(Vec3{0, 1, 0}, yaw)
-	qx := QuatFromAxisAngle(Vec3{1, 0, 0}, pitch)
-	qz := QuatFromAxisAngle(Vec3{0, 0, 1}, roll)
-	return qy.Mul(qx).Mul(qz)
+	sy, cy := math.Sincos(yaw / 2)
+	sx, cx := math.Sincos(pitch / 2)
+	sz, cz := math.Sincos(roll / 2)
+	// ±0 terms exactly as the generic path produces them (u.X*s etc.).
+	zy, zx, zz := 0*sy, 0*sx, 0*sz
+
+	// m = qy.Mul(qx) with qy=(cy, zy, sy, zy), qx=(cx, sx, zx, zx).
+	mw := cy*cx - zy*sx - sy*zx - zy*zx
+	mx := cy*sx + zy*cx + sy*zx - zy*zx
+	my := cy*zx - zy*zx + sy*cx + zy*sx
+	mz := cy*zx + zy*zx - sy*sx + zy*cx
+
+	// m.Mul(qz) with qz=(cz, zz, zz, sz).
+	return Quat{
+		W: mw*cz - mx*zz - my*zz - mz*sz,
+		X: mw*zz + mx*cz + my*sz - mz*zz,
+		Y: mw*zz - mx*sz + my*cz + mz*zz,
+		Z: mw*sz + mx*zz - my*zz + mz*cz,
+	}
 }
 
 // RotationBetween returns the shortest-arc quaternion rotating direction a
@@ -181,6 +203,14 @@ func (q Quat) Normalize() Quat {
 	if n == 0 {
 		return QuatIdentity()
 	}
+	if n == 1 {
+		// Division by 1 is an exact identity; skipping the four divides
+		// is bit-identical. Quats that went through Normalize once
+		// mostly land here (the norm re-computes to exactly 1 for about
+		// two thirds of unit quats), which makes repeated normalization
+		// in hot paths (AngleTo during pose deltas) nearly free.
+		return q
+	}
 	return Quat{q.W / n, q.X / n, q.Y / n, q.Z / n}
 }
 
@@ -207,9 +237,24 @@ func (q Quat) Mat() Mat3 {
 // in [0, π]. This is the angular distance used when measuring headset
 // angular speed from consecutive VRH-T reports.
 func (q Quat) AngleTo(r Quat) float64 {
-	d := q.Normalize().Conj().Mul(r.Normalize())
+	return AngleBetweenNormalized(q.Normalize(), r.Normalize())
+}
+
+// AngleBetweenNormalized is the core of AngleTo for inputs that are
+// already the outputs of Normalize. Callers that walk a chain of
+// orientations (the §5.4 slot model visits each report twice, as the b of
+// one pair and the a of the next) can normalize each quaternion once and
+// reuse the result; because Normalize is a pure function, the cached
+// value is bit-for-bit the one AngleTo would recompute.
+func AngleBetweenNormalized(a, b Quat) float64 {
+	// Only the scalar part of a.Conj().Mul(b) is needed. Expanded, that
+	// is a.W*b.W − (−a.X)*b.X − (−a.Y)*b.Y − (−a.Z)*b.Z; since IEEE
+	// subtraction of a negated product is exactly addition of the
+	// product, the four-term dot below is bit-identical to the full
+	// quaternion product's W — without computing the three unused
+	// components. Pose deltas run this once per trace sample.
+	w := math.Abs(a.W*b.W + a.X*b.X + a.Y*b.Y + a.Z*b.Z)
 	// Clamp for numeric safety.
-	w := math.Abs(d.W)
 	if w > 1 {
 		w = 1
 	}

@@ -61,6 +61,12 @@ func (v Vec3) Unit() Vec3 {
 	if n == 0 {
 		return v
 	}
+	if n == 1 {
+		// Already unit length: scaling by 1/1 is an exact identity, so
+		// skipping it returns bit-identical components. Hot paths
+		// (compiled GMA evaluation, pose deltas) hit this constantly.
+		return v
+	}
 	return v.Scale(1 / n)
 }
 

@@ -1,0 +1,38 @@
+package gma
+
+import (
+	"testing"
+)
+
+// The compiled-vs-uncompiled pair quantifies what Compile hoists out of
+// the hot loop; bench-hotpath records both in BENCH_hotpath.json, and the
+// 0 allocs/op on the compiled path is asserted by TestCompiledBeamZeroAllocs.
+
+func BenchmarkParamsBeam(b *testing.B) {
+	p := Nominal()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Beam(1.3, -0.7); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompiledBeam(b *testing.B) {
+	c := Nominal().Compile()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Beam(1.3, -0.7); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompile(b *testing.B) {
+	p := Nominal()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := p.Compile()
+		_ = c
+	}
+}

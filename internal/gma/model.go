@@ -66,11 +66,11 @@ func (p Params) Beam(v1, v2 float64) (geom.Ray, error) {
 	in := geom.NewRay(p.P0, p.X0)
 	mid, err := geom.Reflect(in, geom.NewPlane(p.Q1, n1))
 	if err != nil {
-		return geom.Ray{}, fmt.Errorf("first mirror: %w", ErrBeamMissesMirror)
+		return geom.Ray{}, errFirstMirror
 	}
 	out, err := geom.Reflect(mid, geom.NewPlane(p.Q2, n2))
 	if err != nil {
-		return geom.Ray{}, fmt.Errorf("second mirror: %w", ErrBeamMissesMirror)
+		return geom.Ray{}, errSecondMirror
 	}
 	return out, nil
 }

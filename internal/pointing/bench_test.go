@@ -1,0 +1,103 @@
+package pointing
+
+import (
+	"testing"
+
+	"cyclops/internal/geom"
+	"cyclops/internal/gma"
+)
+
+// warmFixture returns compiled models plus a converged voltage set, so the
+// benchmarks and allocation tests exercise the warm-start path the
+// real-time loop lives on (one report ≈ one small re-solve).
+func warmFixture(tb testing.TB) (ct, cr gma.Compiled, v Voltages, tau geom.Vec3) {
+	tb.Helper()
+	gt, gr := fixture(11)
+	ct, cr = gt.Compile(), gr.Compile()
+	res, err := PointCompiled(&ct, &cr, Voltages{}, PointOptions{})
+	if err != nil {
+		tb.Fatalf("fixture alignment failed: %v", err)
+	}
+	// At convergence the TX solve's target is the RX beam's origin (the
+	// modeled capture point); a few millimeters off that is the shape of
+	// one fresh tracking report.
+	br, err := cr.Beam(res.V.RX1, res.V.RX2)
+	if err != nil {
+		tb.Fatalf("fixture beam failed: %v", err)
+	}
+	return ct, cr, res.V, br.Origin.Add(geom.V(0.002, -0.001, 0))
+}
+
+// TestGPrimeCompiledZeroAllocs pins the solver's zero-allocation contract
+// on the warm-start success path.
+func TestGPrimeCompiledZeroAllocs(t *testing.T) {
+	ct, _, v, tau := warmFixture(t)
+	if n := testing.AllocsPerRun(200, func() {
+		if _, _, _, err := GPrimeCompiled(&ct, tau, v.TX1, v.TX2, GPrimeOptions{}); err != nil {
+			t.Fatalf("GPrime failed: %v", err)
+		}
+	}); n != 0 {
+		t.Fatalf("GPrimeCompiled allocates %v per solve, want 0", n)
+	}
+}
+
+// TestPointCompiledZeroAllocs extends the contract to a full warm P solve
+// (metrics disabled — a nil *Metrics is the hot default inside tight
+// loops that attach their own registries).
+func TestPointCompiledZeroAllocs(t *testing.T) {
+	ct, cr, v, _ := warmFixture(t)
+	if n := testing.AllocsPerRun(100, func() {
+		if _, err := PointCompiled(&ct, &cr, v, PointOptions{}); err != nil {
+			t.Fatalf("Point failed: %v", err)
+		}
+	}); n != 0 {
+		t.Fatalf("PointCompiled allocates %v per solve, want 0", n)
+	}
+}
+
+func BenchmarkGPrimeWarm(b *testing.B) {
+	ct, _, v, tau := warmFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := GPrimeCompiled(&ct, tau, v.TX1, v.TX2, GPrimeOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGPrimeWarmUncompiled is the before-shape of the same solve:
+// Params in, a fresh compilation per call.
+func BenchmarkGPrimeWarmUncompiled(b *testing.B) {
+	gt, _ := fixture(11)
+	_, _, v, tau := warmFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := GPrime(gt, tau, v.TX1, v.TX2, GPrimeOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPointWarm(b *testing.B) {
+	ct, cr, v, _ := warmFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PointCompiled(&ct, &cr, v, PointOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPointColdStart(b *testing.B) {
+	ct, cr, _, _ := warmFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PointCompiled(&ct, &cr, Voltages{}, PointOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -3,6 +3,11 @@
 // the pointing function P (VRH position → the four voltages that align the
 // beam), both built purely on evaluations of learned GMA models — no
 // additional training and no power feedback.
+//
+// The solvers run on compiled models (gma.Compiled): the per-report hot
+// path compiles each model once and then every Beam evaluation inside the
+// G′ and P iterations is allocation-free. The Params-based entry points
+// remain as thin compiling wrappers for callers outside the hot path.
 package pointing
 
 import (
@@ -57,62 +62,98 @@ func (o *GPrimeOptions) defaults() {
 // update falling below tolerance.
 var ErrNoConverge = errors.New("pointing: iteration did not converge")
 
-// GPrime computes G′(τ): the voltages that make the model's output beam
-// pass through the target point tau, starting from (v1, v2). It returns
-// the voltages and the number of iterations used.
+// GPrime computes G′(τ) on an uncompiled model: it compiles and delegates
+// to GPrimeCompiled. Hot loops should compile once and call
+// GPrimeCompiled directly.
+func GPrime(model gma.Params, tau geom.Vec3, v1, v2 float64, opts GPrimeOptions) (float64, float64, int, error) {
+	c := model.Compile()
+	return GPrimeCompiled(&c, tau, v1, v2, opts)
+}
+
+// GPrimeCompiled computes G′(τ): the voltages that make the model's output
+// beam pass through the target point tau, starting from (v1, v2). It
+// returns the voltages and the number of iterations used.
 //
 // Each step follows §4.3 exactly: evaluate G at (v1,v2), (v1+ε,v2),
 // (v1,v2+ε); intersect the three beams with the plane P through τ
 // perpendicular to the current beam; express the miss vector in the basis
 // of the two per-ε beam displacements; and take the implied linear step.
-func GPrime(model gma.Params, tau geom.Vec3, v1, v2 float64, opts GPrimeOptions) (float64, float64, int, error) {
+// The successful path performs zero heap allocations.
+func GPrimeCompiled(model *gma.Compiled, tau geom.Vec3, v1, v2 float64, opts GPrimeOptions) (float64, float64, int, error) {
+	rv1, rv2, iters, _, err := gprime(model, tau, v1, v2, opts)
+	return rv1, rv2, iters, err
+}
+
+// gprime is the shared core; it additionally reports how many forward
+// model evaluations (G calls) the solve consumed, which the P solver
+// aggregates into the cyclops_pointing_beam_evals_total counter.
+func gprime(model *gma.Compiled, tau geom.Vec3, v1, v2 float64, opts GPrimeOptions) (float64, float64, int, int, error) {
 	opts.defaults()
+
+	beamEvals := 0
 
 	// Cold-start guard: Newton's local linearization is only trustworthy
 	// when the beam already passes reasonably near the target. If the
 	// starting beam misses by decimeters (a cold start in an arbitrarily
 	// rotated VR frame), seed the iteration with a coarse scan of the
-	// voltage grid — 81 model evaluations, microseconds.
+	// voltage grid — 81 model evaluations, microseconds. When the guard's
+	// beam is good, it is exactly the b0 the first iteration would
+	// recompute (Beam is a pure function), so it is reused instead of
+	// thrown away — warm-start solves save one evaluation in three.
+	var b0 geom.Ray
+	haveB0 := false
 	if b, err := model.Beam(v1, v2); err != nil || b.DistanceTo(tau) > 0.1 {
-		if cv1, cv2, ok := coarseSeed(model, tau, opts.VoltLimit); ok {
+		cv1, cv2, evals, ok := coarseSeed(model, tau, opts.VoltLimit)
+		beamEvals += 1 + evals
+		if ok {
 			v1, v2 = cv1, cv2
 		}
+	} else {
+		beamEvals++
+		b0, haveB0 = b, true
 	}
 
 	var lastStep1, lastStep2 float64
 	for iter := 1; iter <= opts.MaxIter; iter++ {
-		b0, err := model.Beam(v1, v2)
-		if err != nil {
-			// The last step carried the beam outside its own
-			// assembly's geometry — back off half of it and retry.
-			if lastStep1 != 0 || lastStep2 != 0 {
-				v1 -= lastStep1 / 2
-				v2 -= lastStep2 / 2
-				lastStep1 /= 2
-				lastStep2 /= 2
-				continue
+		if !haveB0 {
+			var err error
+			b0, err = model.Beam(v1, v2)
+			beamEvals++
+			if err != nil {
+				// The last step carried the beam outside its own
+				// assembly's geometry — back off half of it and retry.
+				if lastStep1 != 0 || lastStep2 != 0 {
+					v1 -= lastStep1 / 2
+					v2 -= lastStep2 / 2
+					lastStep1 /= 2
+					lastStep2 /= 2
+					continue
+				}
+				return v1, v2, iter, beamEvals, fmt.Errorf("pointing: %w", err)
 			}
-			return v1, v2, iter, fmt.Errorf("pointing: %w", err)
 		}
+		haveB0 = false
 		b1, err := model.Beam(v1+opts.Epsilon, v2)
+		beamEvals++
 		if err != nil {
-			return v1, v2, iter, fmt.Errorf("pointing: %w", err)
+			return v1, v2, iter, beamEvals, fmt.Errorf("pointing: %w", err)
 		}
 		b2, err := model.Beam(v1, v2+opts.Epsilon)
+		beamEvals++
 		if err != nil {
-			return v1, v2, iter, fmt.Errorf("pointing: %w", err)
+			return v1, v2, iter, beamEvals, fmt.Errorf("pointing: %w", err)
 		}
 
 		// Plane through τ perpendicular to the current beam direction.
 		plane := geom.NewPlane(tau, b0.Dir)
 		k0, _, err := plane.IntersectLine(b0)
 		if err != nil {
-			return v1, v2, iter, fmt.Errorf("pointing: beam parallel to target plane: %w", err)
+			return v1, v2, iter, beamEvals, fmt.Errorf("pointing: beam parallel to target plane: %w", err)
 		}
 		k1, _, err1 := plane.IntersectLine(b1)
 		k2, _, err2 := plane.IntersectLine(b2)
 		if err1 != nil || err2 != nil {
-			return v1, v2, iter, fmt.Errorf("pointing: probe beam parallel to target plane")
+			return v1, v2, iter, beamEvals, fmt.Errorf("pointing: probe beam parallel to target plane")
 		}
 
 		// Per-ε displacement vectors on the plane, and the miss vector.
@@ -127,7 +168,7 @@ func GPrime(model gma.Params, tau geom.Vec3, v1, v2 float64, opts GPrimeOptions)
 		g22 := u2.Dot(u2)
 		det := g11*g22 - g12*g12
 		if det <= 1e-30 {
-			return v1, v2, iter, fmt.Errorf("pointing: degenerate steering basis")
+			return v1, v2, iter, beamEvals, fmt.Errorf("pointing: degenerate steering basis")
 		}
 		r1 := miss.Dot(u1)
 		r2 := miss.Dot(u2)
@@ -141,10 +182,10 @@ func GPrime(model gma.Params, tau geom.Vec3, v1, v2 float64, opts GPrimeOptions)
 		lastStep1, lastStep2 = s1, s2
 
 		if abs(s1) < opts.Tol && abs(s2) < opts.Tol {
-			return v1, v2, iter, nil
+			return v1, v2, iter, beamEvals, nil
 		}
 	}
-	return v1, v2, opts.MaxIter, ErrNoConverge
+	return v1, v2, opts.MaxIter, beamEvals, ErrNoConverge
 }
 
 func clampAbs(v, limit float64) float64 {
@@ -158,18 +199,20 @@ func clampAbs(v, limit float64) float64 {
 }
 
 // coarseSeed scans a 9×9 voltage grid over ±0.8·limit and returns the pair
-// whose beam passes closest to tau, or ok=false if no grid point produces
-// a valid beam.
-func coarseSeed(model gma.Params, tau geom.Vec3, limit float64) (float64, float64, bool) {
+// whose beam passes closest to tau (plus the number of model evaluations
+// spent), or ok=false if no grid point produces a valid beam.
+func coarseSeed(model *gma.Compiled, tau geom.Vec3, limit float64) (float64, float64, int, bool) {
 	const n = 9
 	span := 0.8 * limit
 	best1, best2 := 0.0, 0.0
 	bestD := -1.0
+	evals := 0
 	for i := 0; i < n; i++ {
 		v1 := -span + 2*span*float64(i)/(n-1)
 		for j := 0; j < n; j++ {
 			v2 := -span + 2*span*float64(j)/(n-1)
 			b, err := model.Beam(v1, v2)
+			evals++
 			if err != nil {
 				continue
 			}
@@ -179,7 +222,7 @@ func coarseSeed(model gma.Params, tau geom.Vec3, limit float64) (float64, float6
 			}
 		}
 	}
-	return best1, best2, bestD >= 0
+	return best1, best2, evals, bestD >= 0
 }
 
 func abs(x float64) float64 {

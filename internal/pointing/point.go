@@ -38,6 +38,7 @@ type Metrics struct {
 	Failures    *obs.Counter
 	Iterations  *obs.Histogram // outer P rounds per solve
 	GPrimeIters *obs.Histogram // total inner G′ iterations per solve
+	BeamEvals   *obs.Counter   // forward model (G) evaluations
 }
 
 // NewMetrics registers the pointing instruments in reg (nil reg → nil
@@ -57,6 +58,8 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		GPrimeIters: reg.Histogram("cyclops_pointing_gprime_iterations",
 			"Total inner G' iterations per P solve, both terminals (paper: 2-4 per solve).",
 			[]float64{2, 4, 6, 8, 12, 16, 24, 32, 48, 64}),
+		BeamEvals: reg.Counter("cyclops_pointing_beam_evals_total",
+			"Forward GMA model (G) evaluations consumed by P solves."),
 	}
 }
 
@@ -70,6 +73,7 @@ func (m *Metrics) record(res Result, err error) {
 	}
 	m.Iterations.Observe(float64(res.Iterations))
 	m.GPrimeIters.Observe(float64(res.GPrimeIterations))
+	m.BeamEvals.Add(float64(res.BeamEvals))
 }
 
 func (o *PointOptions) defaults() {
@@ -89,27 +93,41 @@ type Result struct {
 	// GPrimeIterations is the total inner G′ iterations across both
 	// terminals and all rounds.
 	GPrimeIterations int
+	// BeamEvals is the total number of forward model (G) evaluations the
+	// solve consumed, including coarse seeds and the final residual
+	// check — the unit of work the paper's 1–2 ms TP budget is spent on.
+	BeamEvals int
 	// Residual is the final coincidence error d(p_t,τ_r)+d(p_r,τ_t)
 	// implied by the models, meters.
 	Residual float64
 }
 
-// Point computes P for one VRH position: given the TX-GMA and RX-GMA
-// models expressed in a common frame (VR-space; the caller applies the
-// learned §4.2 mappings and the current tracking report), find the four
-// voltages that align the beam.
+// Point computes P for one VRH position on uncompiled models: it compiles
+// both and delegates to PointCompiled. Hot loops (the core engine calls P
+// on every tracking report) should compile the models themselves — the TX
+// model once per run, the RX model once per report — and call
+// PointCompiled.
+func Point(gt, gr gma.Params, start Voltages, opts PointOptions) (Result, error) {
+	ct, cr := gt.Compile(), gr.Compile()
+	return PointCompiled(&ct, &cr, start, opts)
+}
+
+// PointCompiled computes P for one VRH position: given the compiled
+// TX-GMA and RX-GMA models expressed in a common frame (VR-space; the
+// caller applies the learned §4.2 mappings and the current tracking
+// report), find the four voltages that align the beam.
 //
 // It runs the §4.3 fixed-point loop over Lemma 1's coincidence condition:
 // each terminal's beam origin is the other terminal's target, solved with
 // G′, until the voltages stop moving.
-func Point(gt, gr gma.Params, start Voltages, opts PointOptions) (Result, error) {
+func PointCompiled(gt, gr *gma.Compiled, start Voltages, opts PointOptions) (Result, error) {
 	opts.defaults()
 	res, err := point(gt, gr, start, opts)
 	opts.Metrics.record(res, err)
 	return res, err
 }
 
-func point(gt, gr gma.Params, start Voltages, opts PointOptions) (Result, error) {
+func point(gt, gr *gma.Compiled, start Voltages, opts PointOptions) (Result, error) {
 	v := start
 	res := Result{V: v}
 
@@ -117,22 +135,26 @@ func point(gt, gr gma.Params, start Voltages, opts PointOptions) (Result, error)
 		res.Iterations = iter
 
 		bt, err := gt.Beam(v.TX1, v.TX2)
+		res.BeamEvals++
 		if err != nil {
 			return res, fmt.Errorf("pointing: TX model: %w", err)
 		}
 		br, err := gr.Beam(v.RX1, v.RX2)
+		res.BeamEvals++
 		if err != nil {
 			return res, fmt.Errorf("pointing: RX model: %w", err)
 		}
 
 		// Each origin becomes the other terminal's target point.
-		nt1, nt2, it, err := GPrime(gt, br.Origin, v.TX1, v.TX2, opts.GPrime)
+		nt1, nt2, it, et, err := gprime(gt, br.Origin, v.TX1, v.TX2, opts.GPrime)
 		res.GPrimeIterations += it
+		res.BeamEvals += et
 		if err != nil {
 			return res, fmt.Errorf("pointing: G'_T: %w", err)
 		}
-		nr1, nr2, ir, err := GPrime(gr, bt.Origin, v.RX1, v.RX2, opts.GPrime)
+		nr1, nr2, ir, er, err := gprime(gr, bt.Origin, v.RX1, v.RX2, opts.GPrime)
 		res.GPrimeIterations += ir
+		res.BeamEvals += er
 		if err != nil {
 			return res, fmt.Errorf("pointing: G'_R: %w", err)
 		}
@@ -142,18 +164,20 @@ func point(gt, gr gma.Params, start Voltages, opts PointOptions) (Result, error)
 		if delta < opts.Tol {
 			res.V = v
 			res.Residual = coincidenceResidual(gt, gr, v)
+			res.BeamEvals += 2
 			return res, nil
 		}
 	}
 	res.V = v
 	res.Residual = coincidenceResidual(gt, gr, v)
+	res.BeamEvals += 2
 	return res, ErrNoConverge
 }
 
 // coincidenceResidual evaluates the Lemma 1 error d(p_t, τ_r) + d(p_r, τ_t)
 // for the given models and voltages: each beam should pass through the
 // other's origin.
-func coincidenceResidual(gt, gr gma.Params, v Voltages) float64 {
+func coincidenceResidual(gt, gr *gma.Compiled, v Voltages) float64 {
 	bt, err1 := gt.Beam(v.TX1, v.TX2)
 	br, err2 := gr.Beam(v.RX1, v.RX2)
 	if err1 != nil || err2 != nil {
@@ -168,7 +192,8 @@ func coincidenceResidual(gt, gr gma.Params, v Voltages) float64 {
 // CoincidenceResidual is the exported form used by tests and the
 // calibration error analysis.
 func CoincidenceResidual(gt, gr gma.Params, v Voltages) float64 {
-	return coincidenceResidual(gt, gr, v)
+	ct, cr := gt.Compile(), gr.Compile()
+	return coincidenceResidual(&ct, &cr, v)
 }
 
 // InVRSpace places a K-space GMA model into VR-space. For the TX terminal

@@ -284,6 +284,22 @@ func Generate(seed int64, index int, length time.Duration, origin geom.Vec3) Tra
 		saccadeHz  = 0.25  // expected saccades per second
 	)
 
+	// Loop-invariant products, hoisted with their original left-to-right
+	// association so every per-step float is bit-identical to computing
+	// them inline (a*b*c ≡ (a*b)*c; the hoisted factor is exactly a*b).
+	sqrtDt := math.Sqrt(dt)
+	var (
+		saccadeProb = saccadeHz * dt
+		shiftProb   = 0.18 * dt
+		yawNoise    = sigYawRate * sqrtDt
+		pitchNoise  = sigPitch * sqrtDt
+		rollNoise   = 0.5 * sigPitch * sqrtDt
+		posNoise    = sigPos * sqrtDt
+		posNoiseZ   = 0.5 * sigPos * sqrtDt
+		pullBack    = dt * 0.8
+		velDecay    = -dt / tauPos
+	)
+
 	var yaw, pitch, roll float64
 	var yawRate, pitchRate, rollRate float64
 	pos := origin
@@ -296,20 +312,18 @@ func Generate(seed int64, index int, length time.Duration, origin geom.Vec3) Tra
 	var shiftLeft int
 	var shiftVel geom.Vec3
 
-	tr := Trace{ID: fmt.Sprintf("synthetic-%d", index), Samples: make([]Sample, 0, n)}
-	for i := 0; i < n; i++ {
-		at := time.Duration(i) * SampleInterval
-
-		tr.Samples = append(tr.Samples, Sample{
+	tr := Trace{ID: fmt.Sprintf("synthetic-%d", index), Samples: make([]Sample, n)}
+	for i, at := 0, time.Duration(0); i < n; i, at = i+1, at+SampleInterval {
+		tr.Samples[i] = Sample{
 			At: at,
 			Pose: geom.NewPose(
 				geom.QuatFromEuler(yaw, pitch, roll),
 				pos,
 			),
-		})
+		}
 
 		// Saccade bursts: brief, faster re-orientations.
-		if saccadeLeft == 0 && rng.Float64() < saccadeHz*dt {
+		if saccadeLeft == 0 && rng.Float64() < saccadeProb {
 			saccadeLeft = 20 + rng.Intn(30) // 200–500 ms
 			// Mostly 9–23 deg/s re-orientations (the Fig 3
 			// distribution's upper region); one in six is a fast
@@ -328,7 +342,7 @@ func Generate(seed int64, index int, length time.Duration, origin geom.Vec3) Tra
 		}
 
 		// Posture shifts: ~every 6 s, a 300–600 ms translation burst.
-		if shiftLeft == 0 && rng.Float64() < 0.18*dt {
+		if shiftLeft == 0 && rng.Float64() < shiftProb {
 			shiftLeft = 30 + rng.Intn(30)
 			dir := geom.V(rng.NormFloat64(), rng.NormFloat64(), 0.3*rng.NormFloat64())
 			if !dir.IsZero() {
@@ -356,17 +370,17 @@ func Generate(seed int64, index int, length time.Duration, origin geom.Vec3) Tra
 		pitch -= pitch * dt / 2.5
 		roll -= roll * dt / 1.5
 
-		yawRate += -yawRate*dt/tauYawRate + sigYawRate*math.Sqrt(dt)*rng.NormFloat64()
-		pitchRate += -pitchRate*dt/tauPitch + sigPitch*math.Sqrt(dt)*rng.NormFloat64()
-		rollRate += -rollRate*dt/tauPitch + 0.5*sigPitch*math.Sqrt(dt)*rng.NormFloat64()
+		yawRate += -yawRate*dt/tauYawRate + yawNoise*rng.NormFloat64()
+		pitchRate += -pitchRate*dt/tauPitch + pitchNoise*rng.NormFloat64()
+		rollRate += -rollRate*dt/tauPitch + rollNoise*rng.NormFloat64()
 
 		pos = pos.Add(effVel.Scale(dt))
 		// Pull back toward the origin (seated viewer sway).
-		vel = vel.Add(origin.Sub(pos).Scale(dt * 0.8))
-		vel = vel.Add(vel.Scale(-dt / tauPos)).Add(geom.V(
-			sigPos*math.Sqrt(dt)*rng.NormFloat64(),
-			sigPos*math.Sqrt(dt)*rng.NormFloat64(),
-			0.5*sigPos*math.Sqrt(dt)*rng.NormFloat64(),
+		vel = vel.Add(origin.Sub(pos).Scale(pullBack))
+		vel = vel.Add(vel.Scale(velDecay)).Add(geom.V(
+			posNoise*rng.NormFloat64(),
+			posNoise*rng.NormFloat64(),
+			posNoiseZ*rng.NormFloat64(),
 		))
 	}
 	return tr

@@ -104,9 +104,12 @@ func FitMapping(kTX, kRX gma.Params, tuples []Tuple, init Mapping) (Mapping, opt
 		if err != nil {
 			panic(err)
 		}
-		gt := m.TXModel(kTX)
+		// One TX compilation per candidate mapping covers every tuple;
+		// the RX model moves with each tuple's report and is compiled
+		// per tuple (still amortized over its two beam evaluations).
+		gt := m.TXModel(kTX).Compile()
 		for i, tp := range tuples {
-			gr := m.RXModel(kRX, tp.Psi)
+			gr := m.RXModel(kRX, tp.Psi).Compile()
 			bt, err1 := gt.Beam(tp.V.TX1, tp.V.TX2)
 			br, err2 := gr.Beam(tp.V.RX1, tp.V.RX2)
 			if err1 != nil || err2 != nil {

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race verify bench bench-hotpath alloc-check metrics-smoke clean
+.PHONY: all build vet test race verify bench bench-hotpath alloc-check metrics-smoke chaos-smoke clean
 
 all: verify
 
@@ -25,6 +25,7 @@ verify:
 	$(GO) test -race ./...
 	$(MAKE) alloc-check
 	$(MAKE) metrics-smoke
+	$(MAKE) chaos-smoke
 
 # Allocation-regression gate for the compiled hot path: the zero-alloc
 # contracts on Compiled.Beam, G', and P are pinned by AllocsPerRun tests;
@@ -49,6 +50,20 @@ metrics-smoke:
 	grep -q '^# TYPE cyclops_run_repoint_latency_seconds histogram$$' .metrics_smoke.prom
 	rm -f .metrics_smoke.prom
 	@echo "metrics-smoke: ok"
+
+# End-to-end fault-injection check: a chaotic handheld run with a pinned
+# fault seed must survive (no abort), record at least one outage that is
+# matched by a reacquisition, and expose the supervisor time-in-state
+# gauges. Seed 5 over 12 s deterministically produces two full
+# down→recover cycles.
+chaos-smoke:
+	$(GO) run ./cmd/cyclops-sim -oracle -motion handheld -duration 12s -chaos -chaos-seed 5 -metrics .chaos_smoke.prom
+	grep -q '^cyclops_outage_total [1-9]' .chaos_smoke.prom
+	grep -q '^cyclops_reacquire_seconds_count [1-9]' .chaos_smoke.prom
+	grep -q '^cyclops_supervisor_tracking_seconds ' .chaos_smoke.prom
+	grep -q '^cyclops_supervisor_degraded_seconds ' .chaos_smoke.prom
+	rm -f .chaos_smoke.prom
+	@echo "chaos-smoke: ok"
 
 # Serial vs parallel wall time for the Fig 16 500-trace corpus, recorded
 # into BENCH_parallel.json. The two benchmarks produce bit-identical
@@ -104,5 +119,5 @@ bench-hotpath:
 	cat BENCH_hotpath.json
 
 clean:
-	rm -f BENCH_parallel.json BENCH_hotpath.json .bench_parallel.txt .bench_hotpath.txt .metrics_smoke.prom
+	rm -f BENCH_parallel.json BENCH_hotpath.json .bench_parallel.txt .bench_hotpath.txt .metrics_smoke.prom .chaos_smoke.prom
 	$(GO) clean ./...

@@ -23,6 +23,7 @@
 //
 // The experiment names come from the cyclops.Experiments registry:
 // fig3, table1, fig11, table2, tp, fig13, fig14, fig15, table3, fig16,
+// fig16-faults (the chaos availability sweep),
 // convergence, ablations, extensions — or all.
 package main
 

@@ -8,10 +8,16 @@
 //	cyclops-sim -link 25g -motion handheld -duration 30s -oracle
 //	cyclops-sim -motion trace -seed 4
 //	cyclops-sim -motion handheld -metrics run.prom
+//	cyclops-sim -motion handheld -chaos -chaos-seed 7   # fault injection
 //	cyclops-sim -experiment convergence            # registry dispatch
 //
 // -experiment bypasses the interactive run and executes a named entry of
 // the cyclops.Experiments registry instead (same names as cyclops-bench).
+// -chaos plans a seeded fault schedule (cyclops.DefaultFaultConfig) over
+// the run and arms the recovery supervisor: the summary then reports
+// outages, reacquisitions, and degraded time, and the metrics exposition
+// gains cyclops_outage_total, cyclops_reacquire_seconds, and the
+// supervisor time-in-state gauges.
 // -metrics writes the run's Prometheus text exposition to a file on exit;
 // the exposition includes cyclops_pointing_beam_evals_total, the forward
 // GMA-model evaluation budget the realignment loop consumed.
@@ -38,6 +44,8 @@ func main() {
 	series := flag.Bool("series", false, "print the 50 ms throughput/power series")
 	experiment := flag.String("experiment", "", "run a named experiment from the registry instead of an interactive run")
 	metricsFile := flag.String("metrics", "", "write Prometheus text exposition of the run's metrics to this file on exit")
+	chaos := flag.Bool("chaos", false, "inject a seeded fault schedule (occlusions, tracker dropouts, galvo faults) and arm the recovery supervisor")
+	chaosSeed := flag.Int64("chaos-seed", 1, "seed for the -chaos fault schedule (independent of -seed)")
 	flag.Parse()
 
 	writeMetrics := func() {
@@ -116,11 +124,24 @@ func main() {
 		fmt.Printf("calibrated: %v\n", rep)
 	}
 
-	res, err := sys.Run(cyclops.RunOptions{
+	// Mirrors core.Run: a positive -duration IS the run length (it can
+	// extend a short program, whose pose then holds); 0 means the
+	// program's own length.
+	effDur := prog.Duration()
+	if *duration > 0 {
+		effDur = *duration
+	}
+	opts := cyclops.RunOptions{
 		Program:     prog,
 		Duration:    *duration,
 		SampleEvery: 10 * time.Millisecond,
-	})
+	}
+	if *chaos {
+		sched := cyclops.PlanFaults(cyclops.DefaultFaultConfig(), *chaosSeed, effDur)
+		opts.Faults = &sched
+		fmt.Printf("chaos: injecting %d fault windows (seed %d)\n", len(sched.Windows), *chaosSeed)
+	}
+	res, err := sys.Run(opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cyclops-sim: run: %v\n", err)
 		os.Exit(1)
@@ -146,10 +167,20 @@ func main() {
   peak measured speed %.1f cm/s, %.1f deg/s
 `,
 		cfg.Name, *motionName,
-		prog.Duration(),
+		effDur,
 		res.UpFraction*100, res.Disconnections,
 		res.Points, res.MeanPointIters(), res.MeanGPrimeIters(), res.PointFailures,
 		res.MeanTPLatency,
 		maxLin*100, maxAng*180/math.Pi)
+	if *chaos {
+		degraded := 0
+		for _, s := range res.Samples {
+			if s.Degraded {
+				degraded++
+			}
+		}
+		fmt.Printf("  outages             %d (%d reacquired), %d degraded ticks, %d degraded samples\n",
+			res.Outages, res.Reacquired, res.DegradedTicks, degraded)
+	}
 	writeMetrics()
 }

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"cyclops/internal/core"
+	"cyclops/internal/fault"
 	"cyclops/internal/geom"
 	"cyclops/internal/link"
 	"cyclops/internal/motion"
@@ -178,6 +179,40 @@ type CorpusResult = sim.CorpusResult
 //
 // Deprecated: use CorpusResult, which matches the internal/sim name.
 type AvailabilityCorpus = sim.CorpusResult
+
+// FaultSchedule is a seeded, reproducible list of fault windows. Set
+// RunOptions.Faults to a non-empty schedule to arm fault injection and the
+// recovery supervisor; see DESIGN.md "Fault model & recovery".
+type FaultSchedule = fault.Schedule
+
+// FaultWindow is one fault episode inside a schedule.
+type FaultWindow = fault.Window
+
+// FaultConfig sets the per-class rates and durations PlanFaults draws
+// from.
+type FaultConfig = fault.Config
+
+// RecoveryOptions tunes the link supervisor (backoff, jittered restarts,
+// spiral scan, degradation threshold). The zero value uses the documented
+// defaults.
+type RecoveryOptions = core.RecoveryOptions
+
+// PlanFaults synthesizes a reproducible fault schedule: the same (cfg,
+// seed, duration) always yields the identical windows.
+func PlanFaults(cfg FaultConfig, seed int64, dur time.Duration) FaultSchedule {
+	return fault.Plan(cfg, seed, dur)
+}
+
+// DefaultFaultConfig is a moderately hostile chaos mix (occlusions,
+// tracker dropouts, galvo faults, solver divergence).
+func DefaultFaultConfig() FaultConfig { return fault.DefaultConfig() }
+
+// ChaosParams extend the §5.4 slot model with occlusion blocking and
+// re-lock constants.
+type ChaosParams = sim.ChaosParams
+
+// ChaosCorpusResult aggregates a chaos corpus run (fig16-faults' data).
+type ChaosCorpusResult = sim.ChaosCorpusResult
 
 // MetricsRegistry is a deterministic, dependency-free metrics registry
 // (counters, gauges, fixed-bucket histograms) with Prometheus text

@@ -1,6 +1,7 @@
 package cyclops
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -8,6 +9,7 @@ import (
 	"time"
 
 	"cyclops/internal/core"
+	"cyclops/internal/fault"
 	"cyclops/internal/geom"
 	"cyclops/internal/link"
 	"cyclops/internal/optics"
@@ -601,6 +603,98 @@ func (r Fig16Result) Render() string {
 	b.WriteString("  CDF of per-trace disconnected %:\n")
 	for i := range xs {
 		fmt.Fprintf(&b, "    ≤%5.2f%% of slots off : %.3f of traces\n", xs[i], ys[i])
+	}
+	return b.String()
+}
+
+// -------------------------------------------------------- fig16-faults —
+
+// Fig16FaultsCell is one point of the chaos sweep: the 500-trace corpus
+// under a fault config with the given occlusion rate × duration (plus the
+// fixed background of tracker blackouts and stuck-galvo windows).
+type Fig16FaultsCell struct {
+	OcclusionPerMin float64
+	OcclusionDur    time.Duration
+	MeanOnFraction  float64
+	MinOnFraction   float64
+	Outages         int
+	// MeanOutage is the mean blocked-episode length (occlusion window plus
+	// the re-lock tail) across the corpus.
+	MeanOutage time.Duration
+}
+
+// Fig16FaultsResult is the fig16-faults chaos experiment: Fig 16's
+// availability study re-run under deterministic fault injection.
+type Fig16FaultsResult struct {
+	// BaselineOnFraction is the fault-free corpus mean — the same number
+	// Fig 16 reports, computed on the same traces.
+	BaselineOnFraction float64
+	Cells              []Fig16FaultsCell
+}
+
+// fig16FaultsSweep is the occlusion rate × duration grid. The background
+// rates (blackout, stuck) stay fixed so the sweep isolates occlusion.
+var fig16FaultsSweep = struct {
+	rates []float64
+	durs  []time.Duration
+}{
+	rates: []float64{0.5, 2},
+	durs:  []time.Duration{100 * time.Millisecond, 500 * time.Millisecond},
+}
+
+// Fig16Faults runs the chaos sweep with the default worker pool.
+func Fig16Faults(seed int64) (Fig16FaultsResult, error) {
+	return Fig16FaultsWorkers(seed, 0)
+}
+
+// Fig16FaultsWorkers is Fig16Faults with an explicit worker count. The
+// whole sweep is a pure function of the seed: trace generation, per-trace
+// fault plans, and the slot model are all seeded, so every worker count
+// returns the identical Fig16FaultsResult bit for bit.
+func Fig16FaultsWorkers(seed int64, workers int) (Fig16FaultsResult, error) {
+	traces := trace.DatasetWorkers(seed, link.DefaultHeadsetPose().Trans, workers)
+	base := sim.SimulateCorpusWorkers(traces, sim.Paper25G(), workers)
+	res := Fig16FaultsResult{BaselineOnFraction: base.MeanOnFraction}
+	p := sim.PaperChaos25G()
+	for _, rate := range fig16FaultsSweep.rates {
+		for _, dur := range fig16FaultsSweep.durs {
+			cfg := fault.Config{
+				Occlusion:        fault.ClassConfig{PerMin: rate, MinDur: dur, MaxDur: dur},
+				OcclusionDepthDB: [2]float64{25, 45},
+				OcclusionRamp:    10 * time.Millisecond,
+				Blackout:         fault.ClassConfig{PerMin: 1, MinDur: 50 * time.Millisecond, MaxDur: 150 * time.Millisecond},
+				Stuck:            fault.ClassConfig{PerMin: 0.5, MinDur: 100 * time.Millisecond, MaxDur: 300 * time.Millisecond},
+			}
+			c, err := sim.SimulateChaosCorpus(context.Background(), traces, p, cfg, seed+1, workers)
+			if err != nil {
+				return res, err
+			}
+			cell := Fig16FaultsCell{
+				OcclusionPerMin: rate,
+				OcclusionDur:    dur,
+				MeanOnFraction:  c.MeanOnFraction,
+				MinOnFraction:   c.MinOnFraction,
+				Outages:         c.Outages,
+			}
+			if c.Outages > 0 {
+				cell.MeanOutage = time.Duration(float64(c.BlockedSlots)/float64(c.Outages)) * p.Slot
+			}
+			res.Cells = append(res.Cells, cell)
+		}
+	}
+	return res, nil
+}
+
+// Render prints the chaos sweep table.
+func (r Fig16FaultsResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig 16-faults: availability under injected occlusion (25G constants, 500 traces)\n")
+	fmt.Fprintf(&b, "  baseline (no faults): mean on %.2f%%\n", r.BaselineOnFraction*100)
+	b.WriteString("  occl rate  duration   mean on   worst    outages  mean outage\n")
+	for _, c := range r.Cells {
+		fmt.Fprintf(&b, "  %5.1f/min  %6s   %6.2f%%  %6.2f%%  %7d  %9s\n",
+			c.OcclusionPerMin, c.OcclusionDur, c.MeanOnFraction*100, c.MinOnFraction*100,
+			c.Outages, c.MeanOutage.Round(time.Millisecond))
 	}
 	return b.String()
 }

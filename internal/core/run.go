@@ -5,6 +5,7 @@ import (
 	"math"
 	"time"
 
+	"cyclops/internal/fault"
 	"cyclops/internal/link"
 	"cyclops/internal/motion"
 	"cyclops/internal/netem"
@@ -43,6 +44,16 @@ type RunOptions struct {
 	// records into a private registry whose snapshot is published to
 	// obs.Default().
 	Metrics *obs.Registry
+	// Faults, when non-nil and non-empty, is the deterministic fault
+	// schedule injected into this run; it also arms the Supervisor
+	// recovery layer (link-down detection, backoff'd solve retries,
+	// spiral reacquisition, graceful degradation). Default (nil), and an
+	// empty schedule: no injection, no supervisor — bit-identical to the
+	// historical run loop.
+	Faults *fault.Schedule
+	// Recovery tunes the supervisor; the zero value means the documented
+	// defaults. Consulted only when Faults is armed.
+	Recovery RecoveryOptions
 }
 
 // Validate reports whether the options are usable: Program must be set,
@@ -64,6 +75,14 @@ func (o RunOptions) Validate() error {
 	if o.ReportEvery < 0 {
 		return fmt.Errorf("core: invalid RunOptions: negative ReportEvery %v", o.ReportEvery)
 	}
+	if o.Faults != nil {
+		for i, w := range o.Faults.Windows {
+			if w.Start < 0 || w.End < w.Start {
+				return fmt.Errorf("core: invalid RunOptions: fault window %d malformed (%v-%v)",
+					i, w.Start, w.End)
+			}
+		}
+	}
 	return nil
 }
 
@@ -84,6 +103,12 @@ type Sample struct {
 	// two most recent tracking reports — the same speed estimate the
 	// paper's 50 ms windows use.
 	LinSpeed, AngSpeed float64
+	// Degraded marks ticks the supervisor spent in the DEGRADED state
+	// (outage longer than RecoveryOptions.DegradeAfter): the run kept
+	// going, but traffic accounting was frozen and the sample should not
+	// count against alignment quality. Always false without fault
+	// injection.
+	Degraded bool
 }
 
 // RunResult holds everything a run produced.
@@ -103,6 +128,12 @@ type RunResult struct {
 	// TPLatency is the realignment latency applied after each report
 	// (DAQ + mirror settle), as measured from the devices.
 	MeanTPLatency time.Duration
+	// Outages / Reacquired count the supervisor's link-down episodes and
+	// how many recovered within the run; DegradedTicks counts ticks
+	// spent in the DEGRADED state. All zero without fault injection.
+	Outages       int
+	Reacquired    int
+	DegradedTicks int
 	// Metrics is this run's own observability contribution (a diff
 	// against the registry's state when Run started, so shared
 	// registries still yield per-run numbers).
@@ -174,11 +205,35 @@ func (s *System) Run(opts RunOptions) (RunResult, error) {
 	stream.Metrics = netem.NewStreamMetrics(reg)
 	popts := pointing.PointOptions{Metrics: pointing.NewMetrics(reg)}
 
-	// Initial state: align at the program's first pose.
+	// Fault injection + recovery: armed only by a non-empty schedule.
+	// With inj == nil the loop below takes the historical code path bit
+	// for bit — an all-zero schedule is indistinguishable from none.
+	var inj *fault.Schedule
+	var sup *Supervisor
+	if !opts.Faults.Empty() {
+		inj = opts.Faults
+		sup = NewSupervisor(opts.Recovery, inj.Seed+1_000_099, reg)
+		defer func() {
+			// Leave the plant clean for the next run on this system.
+			s.Plant.SetAttenuationDB(0)
+			s.Plant.TXDev.SetHold(false)
+			s.Plant.RXDev.SetHold(false)
+			s.Plant.TXDev.SetRangeLimit(0)
+			s.Plant.RXDev.SetRangeLimit(0)
+		}()
+	}
+
+	// Initial state: align at the program's first pose. Under fault
+	// injection a failed initial solve is an outage to recover from, not
+	// a reason to abort.
 	s.Plant.SetHeadset(opts.Program.Pose(0))
 	first, err := s.PointNow(0, s.Plant.CurrentVoltages())
 	if err != nil {
-		return res, fmt.Errorf("core: initial alignment: %w", err)
+		if sup == nil {
+			return res, fmt.Errorf("core: initial alignment: %w", err)
+		}
+		sup.SolveFailed(0)
+		first.V = s.Plant.CurrentVoltages()
 	}
 	lastV := first.V
 
@@ -221,6 +276,18 @@ func (s *System) Run(opts RunOptions) (RunResult, error) {
 	for at := time.Duration(0); at <= dur; at += tick {
 		s.Plant.SetHeadset(opts.Program.Pose(at))
 
+		// Injected fault state for this tick, applied through the
+		// device surfaces (which stay fault-agnostic).
+		var fs fault.State
+		if inj != nil {
+			fs = inj.At(at)
+			s.Plant.SetAttenuationDB(fs.AttenDB)
+			s.Plant.TXDev.SetHold(fs.GalvoStuck)
+			s.Plant.RXDev.SetHold(fs.GalvoStuck)
+			s.Plant.TXDev.SetRangeLimit(fs.GalvoSatLimit)
+			s.Plant.RXDev.SetRangeLimit(fs.GalvoSatLimit)
+		}
+
 		// Apply a settled mirror command.
 		if pendingAt >= 0 && at >= pendingAt {
 			s.Plant.ApplyVoltages(pendingV)
@@ -228,18 +295,23 @@ func (s *System) Run(opts RunOptions) (RunResult, error) {
 			pendingAt = -1
 		}
 
-		// Tracking report due?
-		if at >= nextReport && !opts.DisableTP {
-			rep := s.Tracker.Report(s.Plant.Headset(), at)
+		// Tracking report due? A blackout window swallows the report
+		// entirely (no pose, no solve — but the cadence clock keeps
+		// running, like the real pipeline's dropped frames).
+		if at >= nextReport && !opts.DisableTP && !fs.TrackerBlackout {
+			var rep vrh.Report
+			if fs.TrackerFreeze {
+				// Frozen pipeline: stale pose, fresh timestamp, no
+				// RNG consumed — the noise stream resumes untouched.
+				rep = s.Tracker.Holdover(at)
+			} else {
+				rep = s.Tracker.Report(s.Plant.Headset(), at)
+			}
 			recent.push(rep)
 			for recent.len() > 1 && rep.At-recent.front().At > speedWindow {
 				recent.popFront()
 			}
 
-			// The RX model rides on the headset: transformed and
-			// compiled once per report, then shared by every Beam
-			// evaluation inside the solve.
-			gr := s.Map.RXModel(s.KRX, rep.Pose).Compile()
 			// Warm-start from where the mirrors will actually be when
 			// the new command lands: if a command is still in flight,
 			// the mirrors are already moving to pendingV, and lastV is
@@ -248,26 +320,79 @@ func (s *System) Run(opts RunOptions) (RunResult, error) {
 			if pendingAt >= 0 {
 				warmV = pendingV
 			}
-			pres, perr := pointing.PointCompiled(&gt, &gr, warmV, popts)
-			rm.reports.Inc()
-			res.Points++
-			if perr != nil {
+			switch {
+			case !rep.Pose.Finite():
+				// Poisoned report: refuse the solve at the door
+				// (pointing would reject it too — this keeps the NaN
+				// out of the model transform entirely).
+				rm.reports.Inc()
+				res.Points++
 				res.PointFailures++
-			} else {
-				res.TotalPointIters += pres.Iterations
-				res.TotalGPrimeIters += pres.GPrimeIterations
-				// Hardware latency: DAQ conversion + mirror
-				// settle, as the devices report it. We probe the
-				// TX device's cost without mutating it by using
-				// the spec directly (both ends move in parallel).
-				lat := hardwareLatency(s)
-				rm.repoint.Observe(lat.Seconds())
-				latencySum += lat
-				latencyN++
-				pendingV = pres.V
-				pendingAt = at + lat
+				if sup != nil {
+					sup.SolveFailed(at)
+				}
+			case fs.SolverDiverge:
+				// Injected solver divergence: the attempt fails
+				// before the iteration produces anything usable.
+				rm.reports.Inc()
+				res.Points++
+				res.PointFailures++
+				if sup != nil {
+					sup.SolveFailed(at)
+				}
+			case sup != nil && !sup.AllowSolve(at):
+				// Backoff: skip this report's solve; the cadence and
+				// the speed window still advance.
+				rm.reports.Inc()
+			default:
+				// The RX model rides on the headset: transformed and
+				// compiled once per report, then shared by every Beam
+				// evaluation inside the solve.
+				gr := s.Map.RXModel(s.KRX, rep.Pose).Compile()
+				startV := warmV
+				if sup != nil {
+					startV = sup.StartVoltages(warmV)
+				}
+				pres, perr := pointing.PointCompiled(&gt, &gr, startV, popts)
+				rm.reports.Inc()
+				res.Points++
+				if perr != nil {
+					res.PointFailures++
+					if sup != nil {
+						sup.SolveFailed(at)
+					}
+				} else {
+					res.TotalPointIters += pres.Iterations
+					res.TotalGPrimeIters += pres.GPrimeIterations
+					// Hardware latency: DAQ conversion + mirror
+					// settle, as the devices report it. We probe the
+					// TX device's cost without mutating it by using
+					// the spec directly (both ends move in parallel).
+					lat := hardwareLatency(s)
+					rm.repoint.Observe(lat.Seconds())
+					latencySum += lat
+					latencyN++
+					pendingV = pres.V
+					pendingAt = at + lat
+					if sup != nil {
+						sup.SolveOK(pres.V)
+					}
+				}
 			}
 			nextReport = at + reportInterval()
+		} else if at >= nextReport && !opts.DisableTP {
+			nextReport = at + reportInterval()
+		}
+
+		// Spiral reacquisition: when solves keep failing, the supervisor
+		// sweeps the mirrors deterministically around the last-good
+		// voltages, one probe per settle interval, independent of the
+		// report cadence. In-flight commands are never clobbered.
+		if sup != nil && pendingAt < 0 && sup.SpiralDue(at) {
+			v := sup.SpiralNext(at, lastV)
+			lat := hardwareLatency(s)
+			pendingV = v
+			pendingAt = at + lat
 		}
 
 		// Physics + monitors.
@@ -281,7 +406,23 @@ func (s *System) Run(opts RunOptions) (RunResult, error) {
 			upTicks++
 		}
 		totalTicks++
-		stream.Tick(at, tick, up, s.Plant.Config.Transceiver.OptimalGoodputGbps)
+		powerOK := power >= s.Plant.Config.Transceiver.SensitivityDBm
+		degraded := false
+		if sup != nil {
+			sup.Observe(at, tick, up, powerOK)
+			degraded = sup.State() == SupDegraded
+			if degraded {
+				res.DegradedTicks++
+			}
+		}
+		if degraded {
+			// Graceful degradation: the stream's clock advances but
+			// accounting freezes — a long outage is marked, not billed
+			// as measured zero-throughput windows.
+			stream.FreezeTick(at, tick)
+		} else {
+			stream.Tick(at, tick, up, s.Plant.Config.Transceiver.OptimalGoodputGbps)
+		}
 
 		if at >= nextSample {
 			var lin, ang float64
@@ -292,14 +433,26 @@ func (s *System) Run(opts RunOptions) (RunResult, error) {
 				At:       at,
 				PowerDBm: power,
 				Up:       up,
-				PowerOK:  power >= s.Plant.Config.Transceiver.SensitivityDBm,
+				PowerOK:  powerOK,
 				LinSpeed: lin,
 				AngSpeed: ang,
+				Degraded: degraded,
 			})
 			nextSample = at + sampleEvery
 		}
 	}
 
+	if sup != nil {
+		sup.Finish()
+		res.Outages = sup.Outages()
+		res.Reacquired = sup.Reacquired()
+		// A run that ends mid-outage still honors the contract that every
+		// injected outage is matched by a recovery or an explicit
+		// Degraded terminal sample.
+		if sup.Down() && len(res.Samples) > 0 {
+			res.Samples[len(res.Samples)-1].Degraded = true
+		}
+	}
 	res.Windows = stream.Finish()
 	if totalTicks > 0 {
 		res.UpFraction = float64(upTicks) / float64(totalTicks)

@@ -1,0 +1,344 @@
+// Package fault is the deterministic fault-injection subsystem: it plans
+// seeded, reproducible fault windows over a run or a trace and reduces
+// them to a per-instant State that the consuming layer (core.Run, the
+// chaos slot model in internal/sim) applies through the small injection
+// surfaces the device packages expose (plant attenuation, galvo
+// hold/range-limit, tracker holdover). The device packages themselves
+// stay fault-agnostic: nothing in link, galvo, or vrh imports this
+// package or knows a schedule exists.
+//
+// The fault taxonomy mirrors what takes down a ceiling-to-headset FSO
+// link in practice, beyond the headset motion §5.4 models:
+//
+//   - Occlusion: a hand, arm, or body part crosses the beam. Modeled as a
+//     path-attenuation window with linear ramp edges (an obstruction
+//     sweeps through a finite beam over a few ms, it does not teleport).
+//   - TrackerBlackout: the VRH tracking pipeline drops reports entirely
+//     (camera washout, runtime hiccup).
+//   - TrackerFreeze: the pipeline keeps publishing but the pose is stale
+//     (the Holdover failure mode: fresh timestamps, frozen pose).
+//   - GalvoStuck: a mirror servo stops responding; commands are accepted
+//     but the mirrors do not move.
+//   - GalvoSaturation: a failing driver can no longer reach the full
+//     output range; commands clamp to a reduced |voltage| limit.
+//   - SolverDiverge: transient pointing-solver divergence (degenerate
+//     steering basis, poisoned model state) — the solve attempt fails.
+//
+// # Determinism contract
+//
+// Plan is a pure function of (Config, seed, duration): the same inputs
+// produce a byte-identical Schedule (pinned by String in the tests), and
+// Schedule.At is a pure function of time, so any consumer that walks time
+// deterministically stays bit-identical at any worker count.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"cyclops/internal/obs"
+)
+
+// Kind enumerates the fault classes.
+type Kind uint8
+
+const (
+	// Occlusion attenuates the optical path (hand/body through the beam).
+	Occlusion Kind = iota
+	// TrackerBlackout drops tracking reports entirely.
+	TrackerBlackout
+	// TrackerFreeze re-publishes the last pose with fresh timestamps.
+	TrackerFreeze
+	// GalvoStuck makes the mirror servos ignore commands.
+	GalvoStuck
+	// GalvoSaturation clamps commandable voltages to a reduced range.
+	GalvoSaturation
+	// SolverDiverge makes pointing solves fail for the window.
+	SolverDiverge
+
+	numKinds
+)
+
+// String names the fault class.
+func (k Kind) String() string {
+	switch k {
+	case Occlusion:
+		return "occlusion"
+	case TrackerBlackout:
+		return "tracker-blackout"
+	case TrackerFreeze:
+		return "tracker-freeze"
+	case GalvoStuck:
+		return "galvo-stuck"
+	case GalvoSaturation:
+		return "galvo-saturation"
+	case SolverDiverge:
+		return "solver-diverge"
+	}
+	return fmt.Sprintf("fault.Kind(%d)", uint8(k))
+}
+
+// Window is one fault episode: the Kind is active on [Start, End).
+type Window struct {
+	Kind  Kind
+	Start time.Duration
+	End   time.Duration
+	// DepthDB is the plateau attenuation of an Occlusion window, dB.
+	DepthDB float64
+	// Ramp is the occlusion edge time: attenuation ramps linearly from 0
+	// to DepthDB over Ramp at the leading edge and back down at the
+	// trailing edge. Zero means a hard-edged obstruction.
+	Ramp time.Duration
+	// Limit is the reduced |voltage| bound of a GalvoSaturation window.
+	Limit float64
+}
+
+// attenAt evaluates the occlusion trapezoid at time t (t in [Start, End)).
+func (w Window) attenAt(t time.Duration) float64 {
+	if w.Ramp <= 0 {
+		return w.DepthDB
+	}
+	frac := 1.0
+	if in := t - w.Start; in < w.Ramp {
+		frac = float64(in) / float64(w.Ramp)
+	}
+	if out := w.End - t; out < w.Ramp {
+		if f := float64(out) / float64(w.Ramp); f < frac {
+			frac = f
+		}
+	}
+	return w.DepthDB * frac
+}
+
+// State is the instantaneous fault condition a consumer applies at one
+// simulation instant.
+type State struct {
+	// AttenDB is the extra optical path attenuation, dB (0 = clear path).
+	AttenDB float64
+	// TrackerBlackout: the report due now is dropped.
+	TrackerBlackout bool
+	// TrackerFreeze: the report due now repeats the last pose.
+	TrackerFreeze bool
+	// GalvoStuck: mirror commands are ignored.
+	GalvoStuck bool
+	// GalvoSatLimit is the reduced |voltage| bound (0 = full range).
+	GalvoSatLimit float64
+	// SolverDiverge: pointing solves fail.
+	SolverDiverge bool
+}
+
+// Any reports whether any fault is active.
+func (s State) Any() bool {
+	return s.AttenDB != 0 || s.TrackerBlackout || s.TrackerFreeze ||
+		s.GalvoStuck || s.GalvoSatLimit != 0 || s.SolverDiverge
+}
+
+// Schedule is a planned set of fault windows, sorted by (Start, Kind).
+type Schedule struct {
+	// Seed is the seed the schedule was planned from; consumers derive
+	// their own recovery-jitter streams from it so a run's entire hidden
+	// variation still flows from one number.
+	Seed    int64
+	Windows []Window
+}
+
+// Empty reports whether the schedule injects nothing. core.Run treats an
+// empty schedule exactly like a nil one: no injection, no supervisor, and
+// bit-identical output to a fault-free run.
+func (s *Schedule) Empty() bool { return s == nil || len(s.Windows) == 0 }
+
+// At reduces the schedule to the instantaneous fault state at time t.
+// Overlapping occlusions take the deepest attenuation; overlapping
+// saturations take the tightest limit.
+func (s *Schedule) At(t time.Duration) State {
+	var st State
+	if s == nil {
+		return st
+	}
+	for i := range s.Windows {
+		w := &s.Windows[i]
+		if t < w.Start {
+			break // sorted by Start: nothing later can be active
+		}
+		if t >= w.End {
+			continue
+		}
+		switch w.Kind {
+		case Occlusion:
+			if a := w.attenAt(t); a > st.AttenDB {
+				st.AttenDB = a
+			}
+		case TrackerBlackout:
+			st.TrackerBlackout = true
+		case TrackerFreeze:
+			st.TrackerFreeze = true
+		case GalvoStuck:
+			st.GalvoStuck = true
+		case GalvoSaturation:
+			if st.GalvoSatLimit == 0 || w.Limit < st.GalvoSatLimit {
+				st.GalvoSatLimit = w.Limit
+			}
+		case SolverDiverge:
+			st.SolverDiverge = true
+		}
+	}
+	return st
+}
+
+// String renders the schedule one window per line — the canonical form the
+// determinism tests pin byte for byte.
+func (s *Schedule) String() string {
+	if s.Empty() {
+		return "fault schedule: empty\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "fault schedule (seed %d, %d windows):\n", s.Seed, len(s.Windows))
+	for _, w := range s.Windows {
+		fmt.Fprintf(&b, "  %-16s %v-%v", w.Kind, w.Start, w.End)
+		if w.Kind == Occlusion {
+			fmt.Fprintf(&b, " depth %.1fdB ramp %v", w.DepthDB, w.Ramp)
+		}
+		if w.Kind == GalvoSaturation {
+			fmt.Fprintf(&b, " limit %.2fV", w.Limit)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// ClassConfig shapes one fault class: a mean event rate and a uniform
+// duration range. PerMin <= 0 disables the class.
+type ClassConfig struct {
+	// PerMin is the mean event rate, episodes per minute (exponential
+	// inter-arrivals).
+	PerMin float64
+	// MinDur and MaxDur bound the uniform episode duration.
+	MinDur, MaxDur time.Duration
+}
+
+// Config parameterizes Plan: one ClassConfig per fault class plus the
+// class-specific shape parameters.
+type Config struct {
+	Occlusion ClassConfig
+	// OcclusionDepthDB bounds the uniform per-episode plateau attenuation.
+	OcclusionDepthDB [2]float64
+	// OcclusionRamp is the obstruction edge time (see Window.Ramp).
+	OcclusionRamp time.Duration
+
+	Blackout   ClassConfig
+	Freeze     ClassConfig
+	Stuck      ClassConfig
+	Saturation ClassConfig
+	// SaturationLimit is the reduced |voltage| bound during saturation.
+	SaturationLimit float64
+	Diverge         ClassConfig
+}
+
+// DefaultConfig is a moderately hostile mix of every class — the
+// cyclops-sim -chaos demo schedule. Rates are deliberately far above any
+// plausible deployment so a minute of run exercises every recovery path;
+// occlusions are rarer than the rest because each one costs its window
+// plus the SFP's 3 s re-lock.
+func DefaultConfig() Config {
+	return Config{
+		Occlusion:        ClassConfig{PerMin: 3, MinDur: 100 * time.Millisecond, MaxDur: 400 * time.Millisecond},
+		OcclusionDepthDB: [2]float64{25, 45},
+		OcclusionRamp:    10 * time.Millisecond,
+		Blackout:         ClassConfig{PerMin: 4, MinDur: 50 * time.Millisecond, MaxDur: 150 * time.Millisecond},
+		Freeze:           ClassConfig{PerMin: 2, MinDur: 50 * time.Millisecond, MaxDur: 150 * time.Millisecond},
+		Stuck:            ClassConfig{PerMin: 1, MinDur: 100 * time.Millisecond, MaxDur: 300 * time.Millisecond},
+		Saturation:       ClassConfig{PerMin: 1, MinDur: 200 * time.Millisecond, MaxDur: 500 * time.Millisecond},
+		SaturationLimit:  0.5,
+		Diverge:          ClassConfig{PerMin: 4, MinDur: 30 * time.Millisecond, MaxDur: 120 * time.Millisecond},
+	}
+}
+
+// Plan generates the seeded fault schedule for a run of the given
+// duration. Each class draws from its own rand stream (derived from seed
+// and the class kind), so enabling or re-tuning one class never perturbs
+// another's episodes — the property that makes a rate×duration sweep a
+// controlled experiment rather than a reshuffle.
+func Plan(cfg Config, seed int64, dur time.Duration) Schedule {
+	s := Schedule{Seed: seed}
+	plan := func(kind Kind, cc ClassConfig, shape func(rng *rand.Rand, w *Window)) {
+		if cc.PerMin <= 0 || cc.MaxDur <= 0 || dur <= 0 {
+			return
+		}
+		rng := rand.New(rand.NewSource(seed*1_000_003 + int64(kind)*7919 + 1))
+		meanGap := time.Duration(60 / cc.PerMin * float64(time.Second))
+		at := time.Duration(rng.ExpFloat64() * float64(meanGap))
+		for at < dur {
+			d := cc.MinDur
+			if cc.MaxDur > cc.MinDur {
+				d += time.Duration(rng.Float64() * float64(cc.MaxDur-cc.MinDur))
+			}
+			end := at + d
+			if end > dur {
+				end = dur
+			}
+			w := Window{Kind: kind, Start: at, End: end}
+			if shape != nil {
+				shape(rng, &w)
+			}
+			s.Windows = append(s.Windows, w)
+			at = end + time.Duration(rng.ExpFloat64()*float64(meanGap))
+		}
+	}
+	plan(Occlusion, cfg.Occlusion, func(rng *rand.Rand, w *Window) {
+		lo, hi := cfg.OcclusionDepthDB[0], cfg.OcclusionDepthDB[1]
+		w.DepthDB = lo + rng.Float64()*(hi-lo)
+		w.Ramp = cfg.OcclusionRamp
+	})
+	plan(TrackerBlackout, cfg.Blackout, nil)
+	plan(TrackerFreeze, cfg.Freeze, nil)
+	plan(GalvoStuck, cfg.Stuck, nil)
+	plan(GalvoSaturation, cfg.Saturation, func(_ *rand.Rand, w *Window) {
+		w.Limit = cfg.SaturationLimit
+	})
+	plan(SolverDiverge, cfg.Diverge, nil)
+
+	sort.SliceStable(s.Windows, func(i, j int) bool {
+		if s.Windows[i].Start != s.Windows[j].Start {
+			return s.Windows[i].Start < s.Windows[j].Start
+		}
+		return s.Windows[i].Kind < s.Windows[j].Kind
+	})
+	return s
+}
+
+// OutageMetrics is the shared outage instrument pair. Both consumers of
+// the schedule — core.Run's supervisor and the sim chaos corpus — record
+// under these names, and the obs registry panics on re-registration with
+// different bounds, so the names and buckets are defined exactly once,
+// here.
+type OutageMetrics struct {
+	// Outages counts link outages attributed to injected faults (and, in
+	// core.Run, any outage the supervisor had to recover from).
+	Outages *obs.Counter
+	// Reacquire is the outage-to-link-up recovery time distribution. The
+	// buckets straddle the SFP re-lock delay (3 s in both transceiver
+	// configs): fast spiral/backoff recoveries land low, full re-lock
+	// tails land around 3-5 s.
+	Reacquire *obs.Histogram
+}
+
+// ReacquireBuckets are the cyclops_reacquire_seconds histogram bounds.
+var ReacquireBuckets = []float64{0.05, 0.1, 0.25, 0.5, 1, 2, 3, 4, 5, 8, 15}
+
+// NewOutageMetrics registers the outage instruments in reg (nil reg → nil
+// metrics, recording disabled).
+func NewOutageMetrics(reg *obs.Registry) *OutageMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &OutageMetrics{
+		Outages: reg.Counter("cyclops_outage_total",
+			"Link outages observed under fault injection."),
+		Reacquire: reg.Histogram("cyclops_reacquire_seconds",
+			"Outage-to-recovery time: link down until the SFP re-locks.",
+			ReacquireBuckets),
+	}
+}

@@ -1,0 +1,94 @@
+package fault
+
+import (
+	"testing"
+	"time"
+)
+
+// Plan is a pure function of (Config, seed, duration): the schedule must
+// render byte-identically across calls, and distinct seeds must actually
+// move the windows.
+func TestPlanDeterminism(t *testing.T) {
+	cfg := DefaultConfig()
+	a := Plan(cfg, 42, 30*time.Second)
+	b := Plan(cfg, 42, 30*time.Second)
+	if a.String() != b.String() {
+		t.Fatalf("same seed produced different schedules:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	if len(a.Windows) == 0 {
+		t.Fatal("default config over 30s produced no windows")
+	}
+	c := Plan(cfg, 43, 30*time.Second)
+	if a.String() == c.String() {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestPlanWindowsWellFormed(t *testing.T) {
+	dur := 45 * time.Second
+	s := Plan(DefaultConfig(), 7, dur)
+	var prev time.Duration = -1
+	for i, w := range s.Windows {
+		if w.Start < 0 || w.End > dur || w.End <= w.Start {
+			t.Errorf("window %d malformed: %+v", i, w)
+		}
+		if w.Start < prev {
+			t.Errorf("window %d out of order: start %v after %v", i, w.Start, prev)
+		}
+		prev = w.Start
+		if w.Kind == Occlusion && (w.DepthDB < 25 || w.DepthDB > 45) {
+			t.Errorf("occlusion depth out of configured bounds: %+v", w)
+		}
+	}
+}
+
+func TestScheduleAt(t *testing.T) {
+	s := &Schedule{Windows: []Window{
+		{Kind: Occlusion, Start: 100 * time.Millisecond, End: 300 * time.Millisecond,
+			DepthDB: 40, Ramp: 20 * time.Millisecond},
+		{Kind: Occlusion, Start: 150 * time.Millisecond, End: 250 * time.Millisecond, DepthDB: 10},
+		{Kind: TrackerBlackout, Start: 200 * time.Millisecond, End: 220 * time.Millisecond},
+		{Kind: GalvoSaturation, Start: 200 * time.Millisecond, End: 260 * time.Millisecond, Limit: 1.5},
+		{Kind: GalvoSaturation, Start: 210 * time.Millisecond, End: 240 * time.Millisecond, Limit: 0.5},
+	}}
+	cases := []struct {
+		at    time.Duration
+		atten float64
+		black bool
+		limit float64
+	}{
+		{0, 0, false, 0},
+		{100 * time.Millisecond, 0, false, 0},  // leading-edge ramp starts at 0
+		{110 * time.Millisecond, 20, false, 0}, // halfway up the 20 ms ramp
+		{150 * time.Millisecond, 40, false, 0}, // plateau; overlap takes max(40, 10)
+		{205 * time.Millisecond, 40, true, 1.5},
+		{215 * time.Millisecond, 40, true, 0.5},  // tighter limit wins
+		{250 * time.Millisecond, 40, false, 1.5}, // 0.5 V window already over
+		{295 * time.Millisecond, 10, false, 0},   // trailing ramp: 5 ms left of 20 ms
+		{300 * time.Millisecond, 0, false, 0},    // End is exclusive
+	}
+	for _, c := range cases {
+		st := s.At(c.at)
+		if st.AttenDB != c.atten || st.TrackerBlackout != c.black || st.GalvoSatLimit != c.limit {
+			t.Errorf("At(%v) = %+v, want atten %v blackout %v limit %v",
+				c.at, st, c.atten, c.black, c.limit)
+		}
+	}
+}
+
+func TestEmptySchedule(t *testing.T) {
+	var nilSched *Schedule
+	if !nilSched.Empty() {
+		t.Error("nil schedule must be Empty")
+	}
+	if nilSched.At(time.Second).Any() {
+		t.Error("nil schedule must inject nothing")
+	}
+	empty := &Schedule{Seed: 5}
+	if !empty.Empty() || empty.At(0).Any() {
+		t.Error("windowless schedule must be Empty and inject nothing")
+	}
+	if got := Plan(Config{}, 1, time.Minute); !got.Empty() {
+		t.Errorf("zero config planned %d windows", len(got.Windows))
+	}
+}

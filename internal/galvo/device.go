@@ -39,6 +39,14 @@ type Device struct {
 
 	v1, v2 float64 // commanded voltages after clamping+quantization
 
+	// held freezes the mirror servos: commands are accepted (and their
+	// latency accounted) but the mirrors do not move — the stuck-actuator
+	// failure mode.
+	held bool
+	// rangeLimit, when > 0, clamps commandable |voltage| below the DAQ's
+	// own output range — the saturated-driver failure mode.
+	rangeLimit float64
+
 	// slewRate is the mechanical slew rate used for large steps,
 	// rad/s. The GVS102 does ~100 Hz full-field scanning, i.e. on the
 	// order of a few hundred rad/s; small steps are dominated by the
@@ -87,16 +95,53 @@ func (d *Device) SetVoltages(v1, v2 float64) time.Duration {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 
-	q1 := d.quantize(clamp(v1, d.daq.OutputRange))
-	q2 := d.quantize(clamp(v2, d.daq.OutputRange))
+	q1 := d.quantize(clamp(v1, d.effectiveRange()))
+	q2 := d.quantize(clamp(v2, d.effectiveRange()))
 
 	// Mechanical travel for the larger of the two channels.
 	delta := math.Max(math.Abs(q1-d.v1), math.Abs(q2-d.v2)) * d.truth.Theta1
 	lat := d.daq.WriteLatency + d.spec.StepLatency +
 		time.Duration(delta/d.slewRate*float64(time.Second))
 
-	d.v1, d.v2 = q1, q2
+	// A held servo accepts the command (the DAQ write happens, latency
+	// and all) but the mirrors never move.
+	if !d.held {
+		d.v1, d.v2 = q1, q2
+	}
 	return lat
+}
+
+// SetHold freezes or releases the mirror servos. While held, voltage
+// commands are accepted but ignored; releasing the hold leaves the
+// mirrors at their last pre-hold position until the next command. This is
+// the stuck-actuator injection surface — the device does not know a fault
+// schedule exists.
+func (d *Device) SetHold(h bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.held = h
+}
+
+// SetRangeLimit clamps commandable |voltage| to limit volts, below the
+// DAQ's own output range — the saturated-driver injection surface. A
+// non-positive limit restores the full range. Already-commanded voltages
+// are unaffected until the next command.
+func (d *Device) SetRangeLimit(limit float64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if limit < 0 {
+		limit = 0
+	}
+	d.rangeLimit = limit
+}
+
+// effectiveRange is the active |voltage| clamp: the DAQ output range,
+// tightened by any injected saturation limit. Callers hold d.mu.
+func (d *Device) effectiveRange() float64 {
+	if d.rangeLimit > 0 && d.rangeLimit < d.daq.OutputRange {
+		return d.rangeLimit
+	}
+	return d.daq.OutputRange
 }
 
 // Voltages returns the currently commanded (clamped, quantized) voltages.
@@ -137,8 +182,8 @@ func (d *Device) BeamAt(v1, v2 float64) (geom.Ray, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	sigmaV := d.spec.AngularAccuracy / 2 / d.truth.Theta1
-	q1 := d.quantize(clamp(v1, d.daq.OutputRange)) + d.rng.NormFloat64()*sigmaV
-	q2 := d.quantize(clamp(v2, d.daq.OutputRange)) + d.rng.NormFloat64()*sigmaV
+	q1 := d.quantize(clamp(v1, d.effectiveRange())) + d.rng.NormFloat64()*sigmaV
+	q2 := d.quantize(clamp(v2, d.effectiveRange())) + d.rng.NormFloat64()*sigmaV
 	return d.truthC.Beam(q1, q2)
 }
 

@@ -163,3 +163,49 @@ func TestBeamTracksBoardTarget(t *testing.T) {
 		t.Error("v2 did not steer Y")
 	}
 }
+
+// A held (stuck-mirror) device acknowledges commands — latency and all —
+// but the mirrors never move; releasing the hold restores normal motion.
+func TestSetVoltagesHold(t *testing.T) {
+	d := newTestDevice()
+	d.SetVoltages(1, -1)
+	h1, h2 := d.Voltages()
+	d.SetHold(true)
+	lat := d.SetVoltages(5, 5)
+	if lat <= 0 {
+		t.Error("held device reported zero latency")
+	}
+	v1, v2 := d.Voltages()
+	if v1 != h1 || v2 != h2 {
+		t.Errorf("held mirrors moved: got %v %v, want %v %v", v1, v2, h1, h2)
+	}
+	d.SetHold(false)
+	d.SetVoltages(2, 2)
+	if v1, v2 = d.Voltages(); v1 == h1 || v2 == h2 {
+		t.Errorf("released mirrors did not move: got %v %v", v1, v2)
+	}
+}
+
+// A saturation fault tightens the commandable range below the DAQ's; a
+// zero or negative limit restores the full range.
+func TestSetVoltagesRangeLimit(t *testing.T) {
+	d := newTestDevice()
+	step := d.VoltageStep()
+	d.SetRangeLimit(0.5)
+	d.SetVoltages(3, -3)
+	v1, v2 := d.Voltages()
+	if math.Abs(v1-0.5) > step || math.Abs(v2+0.5) > step {
+		t.Errorf("saturated clamp: got %v %v, want ≈±0.5", v1, v2)
+	}
+	// A limit wider than the DAQ's output range has no effect.
+	d.SetRangeLimit(99)
+	d.SetVoltages(99, -99)
+	if v1, v2 = d.Voltages(); v1 != 10 || v2 != -10 {
+		t.Errorf("wide limit: got %v %v, want ±10", v1, v2)
+	}
+	d.SetRangeLimit(0)
+	d.SetVoltages(3, -3)
+	if v1, v2 = d.Voltages(); math.Abs(v1-3) > step || math.Abs(v2+3) > step {
+		t.Errorf("cleared limit: got %v %v, want ≈±3", v1, v2)
+	}
+}

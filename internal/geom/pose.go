@@ -92,6 +92,11 @@ func PoseFromParams6(p [6]float64) Pose {
 	return Pose{Rot: q, Trans: Vec3{p[3], p[4], p[5]}}
 }
 
+// Finite reports whether every component of the pose is finite — the
+// validity gate a poisoned tracking report must fail before its NaNs can
+// reach the pointing solvers.
+func (p Pose) Finite() bool { return p.Rot.Finite() && p.Trans.Finite() }
+
 // Delta returns the translational and rotational distance between two
 // poses: |T₁-T₂| in meters and the geodesic angle in radians. These are
 // the two speeds (after dividing by elapsed time) that the paper's Fig 3

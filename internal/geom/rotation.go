@@ -291,6 +291,14 @@ func (q Quat) Slerp(r Quat, t float64) Quat {
 }
 
 // String renders the quaternion.
+// Finite reports whether all components are finite (no NaN/Inf).
+func (q Quat) Finite() bool {
+	return !math.IsNaN(q.W) && !math.IsInf(q.W, 0) &&
+		!math.IsNaN(q.X) && !math.IsInf(q.X, 0) &&
+		!math.IsNaN(q.Y) && !math.IsInf(q.Y, 0) &&
+		!math.IsNaN(q.Z) && !math.IsInf(q.Z, 0)
+}
+
 func (q Quat) String() string {
 	return fmt.Sprintf("quat(w=%.4f, x=%.4f, y=%.4f, z=%.4f)", q.W, q.X, q.Y, q.Z)
 }

@@ -41,6 +41,11 @@ type Plant struct {
 	// per-run/per-calibration instrument set here and detach it after.
 	Metrics *PlantMetrics
 
+	// attenDB is extra path attenuation applied to every radiometry
+	// read — the injection surface for occlusion faults. The plant does
+	// not know why the path darkened; it just attenuates.
+	attenDB float64
+
 	// FlexCoeff models the RX breadboard's gravity sag: the assembly
 	// shifts within the headset frame by FlexCoeff meters per unit
 	// change of the headset-frame gravity direction (≈1.7 mm at a 12°
@@ -235,6 +240,15 @@ func (m *PlantMetrics) observe(powerDBm float64) {
 	m.Power.Observe(powerDBm)
 }
 
+// SetAttenuationDB sets the extra optical path attenuation, in dB,
+// applied to every subsequent radiometry read. Zero restores the clear
+// path. This is the plant's only fault-injection surface: an occlusion
+// schedule drives it, but the plant stays fault-agnostic.
+func (p *Plant) SetAttenuationDB(db float64) { p.attenDB = db }
+
+// AttenuationDB returns the current extra path attenuation, dB.
+func (p *Plant) AttenuationDB() float64 { return p.attenDB }
+
 // ReceivedPowerDBm returns the instantaneous optical power at the RX SFP.
 // Geometric failure (a beam steered outside its own assembly) reads as no
 // light.
@@ -244,7 +258,7 @@ func (p *Plant) ReceivedPowerDBm() float64 {
 		p.Metrics.observe(math.Inf(-1))
 		return math.Inf(-1)
 	}
-	power := p.Config.ReceivedPowerDBm(m)
+	power := p.Config.ReceivedPowerDBm(m) - p.attenDB
 	p.Metrics.observe(power)
 	return power
 }

@@ -266,3 +266,54 @@ func TestCollimatedPlantWorks(t *testing.T) {
 		t.Errorf("collimated aligned power = %.2f dBm, want ≈15", got)
 	}
 }
+
+// The relock boundary is exact: a sample at lightSince + RelockDelay flips
+// up on that sample, for every delay including zero (where first light
+// itself is the boundary sample).
+func TestMonitorRelockBoundaryExact(t *testing.T) {
+	ms := func(x int) time.Duration { return time.Duration(x) * time.Millisecond }
+	cases := []struct {
+		name   string
+		delay  time.Duration
+		checks []struct {
+			at   time.Duration
+			want bool
+		}
+	}{
+		{"zero-delay relocks on first light", 0, []struct {
+			at   time.Duration
+			want bool
+		}{
+			{ms(10), false}, // dark
+			{ms(20), true},  // first light = boundary sample
+		}},
+		{"3s delay relocks exactly at the boundary tick", 3 * time.Second, []struct {
+			at   time.Duration
+			want bool
+		}{
+			{ms(10), false},        // dark
+			{ms(20), false},        // first light, clock starts
+			{ms(20 + 2999), false}, // one tick early
+			{ms(20 + 3000), true},  // exactly lightSince + delay
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			spec := optics.SFP10GZR
+			spec.RelockDelay = c.delay
+			m := NewMonitor(spec)
+			if !m.Observe(0, spec.SensitivityDBm+10) {
+				t.Fatal("did not start up")
+			}
+			for i, step := range c.checks {
+				power := spec.SensitivityDBm + 10.0
+				if i == 0 {
+					power = spec.SensitivityDBm - 30 // the dark sample
+				}
+				if got := m.Observe(step.at, power); got != step.want {
+					t.Fatalf("step %d at %v: up = %v, want %v", i, step.at, got, step.want)
+				}
+			}
+		})
+	}
+}

@@ -69,10 +69,16 @@ func (m *Monitor) Observe(at time.Duration, powerDBm float64) bool {
 		m.hasLight = false
 		return false
 	}
+	// First light starts the re-lock clock and then falls through to the
+	// same boundary check every later sample takes: a sample exactly at
+	// lightSince + RelockDelay flips up before returning, so core.Run
+	// sees the reconnect on the tick that satisfies the delay, including
+	// the RelockDelay == 0 edge where first light itself is that tick.
+	// (Previously the first-light sample returned false unconditionally,
+	// so a zero-delay transceiver stayed down one extra tick.)
 	if !m.hasLight {
 		m.hasLight = true
 		m.lightSince = at
-		return false
 	}
 	if at-m.lightSince >= m.t.RelockDelay {
 		m.up = true

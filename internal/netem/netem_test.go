@@ -203,3 +203,61 @@ func TestFrameStreamerOutage(t *testing.T) {
 		t.Errorf("delivered fraction %.2f too high with outage", st.DeliveredFraction())
 	}
 }
+
+// Frozen ticks suspend accounting: any 50 ms window containing a frozen
+// tick is dropped at rollover rather than reported as a fabricated
+// zero-goodput measurement, and TCP re-ramps when normal ticks resume.
+func TestStreamFreezeTick(t *testing.T) {
+	s := NewStream()
+	for i := 0; i < 500; i++ {
+		at := time.Duration(i) * ms
+		if i >= 100 && i < 200 {
+			s.FreezeTick(at, ms)
+		} else {
+			s.Tick(at, ms, true, 9.4)
+		}
+	}
+	ws := s.Finish()
+	if s.FrozenWindows() == 0 {
+		t.Fatal("no windows were frozen")
+	}
+	for _, w := range ws {
+		if w.Start >= 100*ms && w.Start < 200*ms {
+			t.Errorf("window at %v reported during the frozen span", w.Start)
+		}
+		if w.Gbps < 0 {
+			t.Errorf("window at %v has negative goodput %v", w.Start, w.Gbps)
+		}
+	}
+	// TCP restarts from slow start after the freeze.
+	var after []Window
+	for _, w := range ws {
+		if w.Start >= 200*ms {
+			after = append(after, w)
+		}
+	}
+	if len(after) < 2 {
+		t.Fatal("no windows after the freeze")
+	}
+	if after[0].Gbps >= 9.0 {
+		t.Errorf("first window after freeze = %.2f Gbps — re-ramp missing", after[0].Gbps)
+	}
+	if last := after[len(after)-1]; math.Abs(last.Gbps-9.4) > 0.1 {
+		t.Errorf("did not recover to line rate: %.2f Gbps", last.Gbps)
+	}
+}
+
+// A freeze-only stream reports nothing and never panics.
+func TestStreamAllFrozen(t *testing.T) {
+	s := NewStream()
+	for i := 0; i < 200; i++ {
+		s.FreezeTick(time.Duration(i)*ms, ms)
+	}
+	ws := s.Finish()
+	if len(ws) != 0 {
+		t.Errorf("all-frozen stream reported %d windows", len(ws))
+	}
+	if s.FrozenWindows() == 0 {
+		t.Error("frozen windows not counted")
+	}
+}

@@ -51,6 +51,11 @@ type Stream struct {
 	// 1 ms), and truncating per tick would systematically undercount.
 	fracPkts float64
 	windows  []Window
+	// curFrozen marks the current window as containing frozen
+	// (degraded-mode) ticks; frozen windows are dropped at rollover
+	// instead of being reported as fabricated zero-goodput measurements.
+	curFrozen     bool
+	frozenWindows int64
 	// carriedBits / offeredBits total the run: offered counts the line
 	// rate over every tick (up or down), so carried/offered is the
 	// fraction of the link's nominal capacity actually delivered.
@@ -135,11 +140,46 @@ func (s *Stream) Tick(at, tickLen time.Duration, up bool, lineRateGbps float64) 
 }
 
 func (s *Stream) flushWindow() {
+	if s.curFrozen {
+		// The window spent time in degraded mode: its accounting is
+		// frozen, not measured-at-zero. Drop it rather than report a
+		// throughput number the stream never observed.
+		s.curFrozen = false
+		s.frozenWindows++
+		s.cur += s.WindowLen
+		s.bits = 0
+		return
+	}
 	gbps := s.bits / 1e9 / s.WindowLen.Seconds()
 	s.windows = append(s.windows, Window{Start: s.cur, Gbps: gbps})
 	s.cur += s.WindowLen
 	s.bits = 0
 }
+
+// FreezeTick advances the stream clock by one tick without accruing any
+// offered or carried bits — the graceful-degradation mode: when the
+// supervisor declares the link degraded, traffic accounting pauses
+// instead of charging a long outage against the throughput record.
+// Windows containing frozen ticks are dropped at rollover (see
+// FrozenWindows), and the link is treated as down so TCP re-ramps when
+// normal ticks resume. Mixing FreezeTick and Tick within one window
+// drops that window entirely.
+func (s *Stream) FreezeTick(at, tickLen time.Duration) {
+	if !s.started {
+		s.started = true
+		s.cur = at
+		s.upAt = at
+	}
+	for at >= s.cur+s.WindowLen {
+		s.flushWindow()
+	}
+	s.curFrozen = true
+	s.wasUp = false
+}
+
+// FrozenWindows counts measurement windows dropped because they contained
+// degraded-mode (frozen) ticks.
+func (s *Stream) FrozenWindows() int64 { return s.frozenWindows }
 
 // Finish returns all completed measurements. A partially filled trailing
 // window is discarded — averaging a fraction of a window against the full

@@ -13,6 +13,7 @@ package pointing
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"cyclops/internal/geom"
 	"cyclops/internal/gma"
@@ -62,6 +63,20 @@ func (o *GPrimeOptions) defaults() {
 // update falling below tolerance.
 var ErrNoConverge = errors.New("pointing: iteration did not converge")
 
+// ErrNonFiniteStart is returned when the starting voltages contain
+// NaN/Inf. Like the optimize package's finiteness gate, the solvers
+// refuse poisoned numerics at the door instead of propagating NaN into
+// galvo commands.
+var ErrNonFiniteStart = errors.New("pointing: non-finite start voltages")
+
+// ErrNonFiniteTarget is returned when the G′ target point contains
+// NaN/Inf — the downstream symptom of a non-finite tracking report.
+var ErrNonFiniteTarget = errors.New("pointing: non-finite target point")
+
+// finite reports whether x is a usable number (mirrors the allFinite
+// check in optimize/lm.go, scalar form).
+func finite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
+
 // GPrime computes G′(τ) on an uncompiled model: it compiles and delegates
 // to GPrimeCompiled. Hot loops should compile once and call
 // GPrimeCompiled directly.
@@ -89,6 +104,13 @@ func GPrimeCompiled(model *gma.Compiled, tau geom.Vec3, v1, v2 float64, opts GPr
 // aggregates into the cyclops_pointing_beam_evals_total counter.
 func gprime(model *gma.Compiled, tau geom.Vec3, v1, v2 float64, opts GPrimeOptions) (float64, float64, int, int, error) {
 	opts.defaults()
+
+	if !tau.Finite() {
+		return v1, v2, 0, 0, ErrNonFiniteTarget
+	}
+	if !finite(v1) || !finite(v2) {
+		return v1, v2, 0, 0, ErrNonFiniteStart
+	}
 
 	beamEvals := 0
 

@@ -127,9 +127,21 @@ func PointCompiled(gt, gr *gma.Compiled, start Voltages, opts PointOptions) (Res
 	return res, err
 }
 
+// Finite reports whether all four voltages are finite (no NaN/Inf).
+func (v Voltages) Finite() bool {
+	return finite(v.TX1) && finite(v.TX2) && finite(v.RX1) && finite(v.RX2)
+}
+
 func point(gt, gr *gma.Compiled, start Voltages, opts PointOptions) (Result, error) {
 	v := start
 	res := Result{V: v}
+
+	// Refuse poisoned starts before any model evaluation: a NaN voltage
+	// would otherwise survive the whole fixed-point loop (NaN compares
+	// false against every tolerance) and reach the galvo DAQ unchecked.
+	if !v.Finite() {
+		return res, ErrNonFiniteStart
+	}
 
 	for iter := 1; iter <= opts.MaxIter; iter++ {
 		res.Iterations = iter

@@ -1,6 +1,7 @@
 package pointing
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -188,5 +189,55 @@ func TestCoincidenceResidualZeroAtAlignment(t *testing.T) {
 	detuned.TX1 += 0.05
 	if CoincidenceResidual(gt, gr, detuned) < 10*r {
 		t.Error("residual not sensitive to detuning")
+	}
+}
+
+// Non-finite inputs are refused at the door with typed sentinels, before
+// any model evaluation — a NaN would otherwise survive every tolerance
+// comparison and reach the galvo DAQ.
+func TestNonFiniteInputsRejected(t *testing.T) {
+	gt, gr := fixture(1)
+	ct, cr := gt.Compile(), gr.Compile()
+	nan := math.NaN()
+
+	// G′: poisoned target point.
+	_, _, iters, err := GPrimeCompiled(&ct, geom.V(nan, 0, 1), 0, 0, GPrimeOptions{})
+	if !errors.Is(err, ErrNonFiniteTarget) {
+		t.Errorf("NaN target: err = %v, want ErrNonFiniteTarget", err)
+	}
+	if iters != 0 {
+		t.Errorf("NaN target burned %d iterations", iters)
+	}
+
+	// G′: poisoned start voltages.
+	if _, _, _, err := GPrimeCompiled(&ct, geom.V(0, 0, 1), math.Inf(1), 0, GPrimeOptions{}); !errors.Is(err, ErrNonFiniteStart) {
+		t.Errorf("Inf start: err = %v, want ErrNonFiniteStart", err)
+	}
+
+	// P: poisoned start voltages.
+	res, err := PointCompiled(&ct, &cr, Voltages{TX1: nan}, PointOptions{})
+	if !errors.Is(err, ErrNonFiniteStart) {
+		t.Errorf("NaN P start: err = %v, want ErrNonFiniteStart", err)
+	}
+	if res.BeamEvals != 0 {
+		t.Errorf("NaN P start consumed %d beam evals", res.BeamEvals)
+	}
+
+	// Finite inputs do not trip the guards.
+	if _, err := PointCompiled(&ct, &cr, Voltages{}, PointOptions{}); errors.Is(err, ErrNonFiniteStart) || errors.Is(err, ErrNonFiniteTarget) {
+		t.Errorf("finite solve tripped a finiteness sentinel: %v", err)
+	}
+}
+
+func TestVoltagesFinite(t *testing.T) {
+	if !(Voltages{1, 2, 3, 4}).Finite() {
+		t.Error("finite voltages reported non-finite")
+	}
+	for _, bad := range []Voltages{
+		{TX1: math.NaN()}, {TX2: math.Inf(1)}, {RX1: math.Inf(-1)}, {RX2: math.NaN()},
+	} {
+		if bad.Finite() {
+			t.Errorf("%+v reported finite", bad)
+		}
 	}
 }

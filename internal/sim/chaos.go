@@ -1,0 +1,266 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"cyclops/internal/fault"
+	"cyclops/internal/obs"
+	"cyclops/internal/parallel"
+	"cyclops/internal/trace"
+)
+
+// ChaosParams extend the §5.4 slot model with the fault-injection
+// vocabulary of internal/fault: how deep an occlusion must be to sever the
+// link, and how long the transceiver takes to re-lock once light returns.
+type ChaosParams struct {
+	AvailabilityParams
+	// BlockAttenDB is the occlusion depth (dB) at or above which the slot
+	// model treats the beam as blocked. Shallower occlusions eat margin on
+	// the hardware plant but keep the slot model's link alive.
+	BlockAttenDB float64
+	// Relock is the SFP re-lock time after an occlusion clears: the link
+	// stays down that long past the fault window's end, mirroring
+	// link.Monitor's RelockDelay.
+	Relock time.Duration
+}
+
+// PaperChaos25G returns Paper25G plus the chaos constants: a 10 dB
+// blocking threshold (the 25G budget's full margin) and the transceiver
+// config's 3 s re-lock.
+func PaperChaos25G() ChaosParams {
+	return ChaosParams{
+		AvailabilityParams: Paper25G(),
+		BlockAttenDB:       10,
+		Relock:             3 * time.Second,
+	}
+}
+
+// ChaosTraceResult is the per-trace chaos outcome: the base availability
+// result plus the outage bookkeeping the supervisor tracks on the hardware
+// path.
+type ChaosTraceResult struct {
+	TraceResult
+	// Outages counts blocked episodes (occlusion plus its re-lock tail)
+	// the trace suffered.
+	Outages int
+	// BlockedSlots counts slots lost to those episodes (a subset of
+	// OffSlots; the rest are ordinary misalignment).
+	BlockedSlots int
+}
+
+// SimulateTraceChaos runs the slot model over one trace with the given
+// fault schedule injected. The base drift/realign machinery matches
+// SimulateTrace slot for slot; on top of it:
+//
+//   - an occlusion window at or above BlockAttenDB severs the link for its
+//     duration plus the Relock tail — those slots are off regardless of
+//     pointing state;
+//   - a tracker blackout (or an injected solver divergence) at a report's
+//     arrival swallows that report: no realignment is scheduled and the
+//     drift rates keep their last value;
+//   - a stuck galvo at a realignment's completion turns it into a no-op —
+//     the mirrors never moved, so the accumulated offsets stand.
+//
+// A nil or empty schedule reproduces SimulateTrace's Slots/OffSlots
+// exactly. Outage metrics are recorded into reg under the same names the
+// hardware supervisor uses (cyclops_outage_total,
+// cyclops_reacquire_seconds), so both fault paths expose identically.
+func SimulateTraceChaos(tr trace.Trace, p ChaosParams, sched *fault.Schedule, reg *obs.Registry) ChaosTraceResult {
+	res := ChaosTraceResult{TraceResult: TraceResult{ID: tr.ID}}
+	if len(tr.Samples) < 2 || p.Slot <= 0 {
+		return res
+	}
+	om := fault.NewOutageMetrics(reg)
+
+	lat := p.TPLateralError
+	ang := p.TPAngularError
+	var latStep, angStep float64
+	slotSec := p.Slot.Seconds()
+
+	samples := tr.Samples
+	nextReportIdx := 1
+	var realignAt time.Duration = -1
+
+	end := tr.Duration()
+	frameOff := 0
+	slotInFrame := 0
+	slots, offSlots := 0, 0
+	tolLat, tolAng := p.LateralTolerance, p.AngularTolerance
+
+	// Blocked-episode state.
+	var relockUntil time.Duration = -1
+	wasBlocked := false
+	var blockedSince time.Duration
+
+	for at := time.Duration(0); at < end; at += p.Slot {
+		var fs fault.State
+		if !sched.Empty() {
+			fs = sched.At(at)
+		}
+
+		// Report arrivals. A blackout or divergence window swallows the
+		// report entirely; otherwise drift rates update and a
+		// realignment is scheduled, exactly like the base model.
+		for nextReportIdx < len(samples) && samples[nextReportIdx].At <= at {
+			a, b := &samples[nextReportIdx-1], &samples[nextReportIdx]
+			if realignAt >= 0 && b.At >= realignAt {
+				if !fs.GalvoStuck {
+					lat = p.TPLateralError
+					ang = p.TPAngularError
+				}
+				realignAt = -1
+			}
+			if fs.TrackerBlackout || fs.SolverDiverge {
+				nextReportIdx++
+				continue
+			}
+			if dt := (b.At - a.At).Seconds(); dt > 0 {
+				dLin, dAng := a.Pose.Delta(b.Pose)
+				latStep = dLin / dt * slotSec
+				angStep = dAng / dt * slotSec
+			}
+			realignAt = b.At + p.RealignLatency
+			nextReportIdx++
+		}
+
+		// Realignment completes — unless the mirrors are stuck, in which
+		// case the command lands on a dead actuator and the offsets stand.
+		if realignAt >= 0 && at >= realignAt {
+			if !fs.GalvoStuck {
+				lat = p.TPLateralError
+				ang = p.TPAngularError
+			}
+			realignAt = -1
+		}
+
+		// Occlusion and its re-lock tail.
+		occluded := fs.AttenDB >= p.BlockAttenDB && p.BlockAttenDB > 0
+		if occluded {
+			relockUntil = at + p.Relock
+		}
+		blocked := occluded || (relockUntil >= 0 && at < relockUntil)
+		if blocked && !wasBlocked {
+			res.Outages++
+			blockedSince = at
+			if om != nil {
+				om.Outages.Inc()
+			}
+		}
+		if !blocked && wasBlocked && om != nil {
+			om.Reacquire.Observe((at - blockedSince).Seconds())
+		}
+		wasBlocked = blocked
+
+		// Connectivity check for this slot.
+		slots++
+		if blocked || lat > tolLat || ang > tolAng {
+			offSlots++
+			frameOff++
+			if blocked {
+				res.BlockedSlots++
+			}
+		}
+		slotInFrame++
+		if slotInFrame == 30 {
+			res.FrameHistogram[frameOff]++
+			slotInFrame, frameOff = 0, 0
+		}
+
+		lat += latStep
+		ang += angStep
+	}
+	if slotInFrame > 0 {
+		res.FrameHistogram[frameOff]++
+	}
+	res.Slots = slots
+	res.OffSlots = offSlots
+	if res.Slots > 0 {
+		res.OnFraction = 1 - float64(res.OffSlots)/float64(res.Slots)
+	}
+	if reg != nil {
+		reg.Counter("cyclops_sim_traces_total",
+			"Head-motion traces run through the 5.4 slot model.").Inc()
+		reg.Counter("cyclops_sim_slots_total",
+			"1 ms availability slots simulated.").Add(float64(res.Slots))
+		reg.Counter("cyclops_sim_off_slots_total",
+			"Slots with the link disconnected.").Add(float64(res.OffSlots))
+		reg.Histogram("cyclops_sim_trace_off_fraction",
+			"Per-trace disconnected fraction (the Fig 16 CDF's underlying distribution).",
+			[]float64{0, 0.0005, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1}).
+			Observe(1 - res.OnFraction)
+	}
+	return res
+}
+
+// ChaosCorpusResult aggregates a chaos corpus run — the data behind the
+// fig16-faults sweep.
+type ChaosCorpusResult struct {
+	PerTrace []ChaosTraceResult
+	// MeanOnFraction / MinOnFraction / MaxOnFraction mirror CorpusResult.
+	MeanOnFraction               float64
+	MinOnFraction, MaxOnFraction float64
+	// Outages and BlockedSlots total the per-trace episode bookkeeping.
+	Outages      int
+	BlockedSlots int
+	// Metrics merges the per-trace registries in trace order —
+	// byte-identical for any worker count.
+	Metrics obs.Snapshot
+}
+
+func (c ChaosCorpusResult) String() string {
+	return fmt.Sprintf("chaos corpus: mean on %.2f%%, range %.2f%%-%.2f%%, %d outages over %d traces",
+		c.MeanOnFraction*100, c.MinOnFraction*100, c.MaxOnFraction*100, c.Outages, len(c.PerTrace))
+}
+
+// SimulateChaosCorpus runs the chaos slot model over every trace with a
+// per-trace fault schedule planned from cfg: trace i gets the seed
+// seed + 7919·i, so each trace's faults are independent but the whole
+// corpus is a pure function of (cfg, seed). The fan-out uses
+// parallel.MapCtx — ctx cancellation stops claiming new traces — and every
+// worker count produces the same result bit for bit.
+func SimulateChaosCorpus(ctx context.Context, traces []trace.Trace, p ChaosParams, cfg fault.Config, seed int64, workers int) (ChaosCorpusResult, error) {
+	type job struct {
+		res  ChaosTraceResult
+		snap obs.Snapshot
+	}
+	var c ChaosCorpusResult
+	outs, err := parallel.MapCtx(ctx, len(traces), workers, func(_ context.Context, i int) (job, error) {
+		reg := obs.NewRegistry()
+		sched := fault.Plan(cfg, seed+7919*int64(i), traces[i].Duration())
+		return job{res: SimulateTraceChaos(traces[i], p, &sched, reg), snap: reg.Snapshot()}, nil
+	})
+	if err != nil {
+		return c, err
+	}
+	c.PerTrace = make([]ChaosTraceResult, len(outs))
+	snaps := make([]obs.Snapshot, len(outs))
+	for i, o := range outs {
+		c.PerTrace[i] = o.res
+		snaps[i] = o.snap
+	}
+	c.Metrics = obs.MergeAll(snaps)
+	obs.Default().Merge(c.Metrics)
+	var slots, off int
+	for i, r := range c.PerTrace {
+		slots += r.Slots
+		off += r.OffSlots
+		c.Outages += r.Outages
+		c.BlockedSlots += r.BlockedSlots
+		if i == 0 {
+			c.MinOnFraction, c.MaxOnFraction = r.OnFraction, r.OnFraction
+		} else {
+			if r.OnFraction < c.MinOnFraction {
+				c.MinOnFraction = r.OnFraction
+			}
+			if r.OnFraction > c.MaxOnFraction {
+				c.MaxOnFraction = r.OnFraction
+			}
+		}
+	}
+	if slots > 0 {
+		c.MeanOnFraction = 1 - float64(off)/float64(slots)
+	}
+	return c, nil
+}

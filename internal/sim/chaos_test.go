@@ -1,0 +1,162 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"cyclops/internal/fault"
+	"cyclops/internal/geom"
+	"cyclops/internal/obs"
+	"cyclops/internal/trace"
+)
+
+// An all-zero schedule must reproduce the base §5.4 model slot for slot:
+// the chaos path is the base path plus branches that never fire.
+func TestChaosEmptyScheduleMatchesBase(t *testing.T) {
+	origin := geom.V(0.35, 0.25, 1.0)
+	for i := 0; i < 8; i++ {
+		tr := trace.Generate(5, i, 10*time.Second, origin)
+		base := SimulateTrace(tr, Paper25G())
+		got := SimulateTraceChaos(tr, PaperChaos25G(), nil, nil)
+		if !reflect.DeepEqual(got.TraceResult, base) {
+			t.Fatalf("trace %d: empty-schedule chaos result differs from SimulateTrace", i)
+		}
+		if got.Outages != 0 || got.BlockedSlots != 0 {
+			t.Fatalf("trace %d: empty schedule produced outages", i)
+		}
+		empty := &fault.Schedule{Seed: 1}
+		got2 := SimulateTraceChaos(tr, PaperChaos25G(), empty, nil)
+		if !reflect.DeepEqual(got2, got) {
+			t.Fatalf("trace %d: windowless schedule differs from nil schedule", i)
+		}
+	}
+}
+
+// A single deep occlusion severs the link for its window plus the re-lock
+// tail, and never pushes availability outside [0, 1].
+func TestChaosOcclusionEpisode(t *testing.T) {
+	tr := trace.Generate(5, 42, 10*time.Second, geom.V(0.35, 0.25, 1.0))
+	p := PaperChaos25G()
+	p.Relock = 500 * time.Millisecond
+	sched := &fault.Schedule{Windows: []fault.Window{{
+		Kind: fault.Occlusion, Start: 2 * time.Second, End: 2*time.Second + 300*time.Millisecond,
+		DepthDB: 30, Ramp: 10 * time.Millisecond,
+	}}}
+	reg := obs.NewRegistry()
+	got := SimulateTraceChaos(tr, p, sched, reg)
+	base := SimulateTrace(tr, p.AvailabilityParams)
+
+	if got.Outages != 1 {
+		t.Fatalf("Outages = %d, want 1", got.Outages)
+	}
+	// Window ≈300 ms + 500 ms relock ⇒ roughly 800 blocked slots.
+	if got.BlockedSlots < 700 || got.BlockedSlots > 900 {
+		t.Errorf("BlockedSlots = %d, want ≈800", got.BlockedSlots)
+	}
+	if got.OffSlots < got.BlockedSlots {
+		t.Errorf("OffSlots = %d < BlockedSlots = %d", got.OffSlots, got.BlockedSlots)
+	}
+	if got.OnFraction < 0 || got.OnFraction > 1 {
+		t.Errorf("OnFraction = %v outside [0, 1]", got.OnFraction)
+	}
+	if got.OnFraction >= base.OnFraction {
+		t.Errorf("occlusion did not cut availability: %v >= %v", got.OnFraction, base.OnFraction)
+	}
+	// The injected outage shows up in the shared metric names, and its
+	// recovery lands in the reacquire histogram.
+	exp := reg.Exposition()
+	for _, want := range []string{"cyclops_outage_total 1", "cyclops_reacquire_seconds_count 1"} {
+		if !containsLine(exp, want) {
+			t.Errorf("exposition missing %q:\n%s", want, exp)
+		}
+	}
+}
+
+// A stuck galvo makes realignments no-ops: offsets keep accumulating, so a
+// motion-heavy trace loses more slots than the fault-free run.
+func TestChaosStuckGalvoDegrades(t *testing.T) {
+	tr := trace.Generate(5, 7, 10*time.Second, geom.V(0.35, 0.25, 1.0))
+	p := PaperChaos25G()
+	sched := &fault.Schedule{Windows: []fault.Window{{
+		Kind: fault.GalvoStuck, Start: 1 * time.Second, End: 4 * time.Second,
+	}}}
+	got := SimulateTraceChaos(tr, p, sched, nil)
+	base := SimulateTrace(tr, p.AvailabilityParams)
+	if got.BlockedSlots != 0 {
+		t.Errorf("stuck galvo is not an occlusion: BlockedSlots = %d", got.BlockedSlots)
+	}
+	if got.OffSlots < base.OffSlots {
+		t.Errorf("stuck galvo reduced off slots: %d < %d", got.OffSlots, base.OffSlots)
+	}
+	if got.OnFraction < 0 || got.OnFraction > 1 {
+		t.Errorf("OnFraction = %v outside [0, 1]", got.OnFraction)
+	}
+}
+
+func TestSimulateChaosCorpusWorkerDeterminism(t *testing.T) {
+	origin := geom.V(0.35, 0.25, 1.0)
+	traces := make([]trace.Trace, 24)
+	for i := range traces {
+		traces[i] = trace.Generate(5, i, 5*time.Second, origin)
+	}
+	cfg := fault.DefaultConfig()
+	p := PaperChaos25G()
+	p.Relock = 200 * time.Millisecond
+	serial, err := SimulateChaosCorpus(context.Background(), traces, p, cfg, 99, 1)
+	if err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	if serial.Outages == 0 {
+		t.Fatal("default fault config injected no outages — test is vacuous")
+	}
+	for _, workers := range []int{4, 8} {
+		got, err := SimulateChaosCorpus(context.Background(), traces, p, cfg, 99, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, serial) {
+			t.Errorf("workers=%d: ChaosCorpusResult differs from serial", workers)
+		}
+		if got.Metrics.Exposition() != serial.Metrics.Exposition() {
+			t.Errorf("workers=%d: metrics exposition differs from serial", workers)
+		}
+	}
+	for _, r := range serial.PerTrace {
+		if r.OnFraction < 0 || r.OnFraction > 1 {
+			t.Errorf("trace %s: OnFraction = %v outside [0, 1]", r.ID, r.OnFraction)
+		}
+		if r.OffSlots > r.Slots || r.OffSlots < 0 {
+			t.Errorf("trace %s: OffSlots = %d of %d slots", r.ID, r.OffSlots, r.Slots)
+		}
+	}
+}
+
+func TestSimulateChaosCorpusCancellation(t *testing.T) {
+	traces := []trace.Trace{trace.Generate(5, 1, 2*time.Second, geom.V(0.35, 0.25, 1.0))}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := SimulateChaosCorpus(ctx, traces, PaperChaos25G(), fault.DefaultConfig(), 1, 2)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func containsLine(exp, want string) bool {
+	for len(exp) > 0 {
+		i := 0
+		for i < len(exp) && exp[i] != '\n' {
+			i++
+		}
+		if exp[:i] == want {
+			return true
+		}
+		if i == len(exp) {
+			break
+		}
+		exp = exp[i+1:]
+	}
+	return false
+}

@@ -62,6 +62,11 @@ type Tracker struct {
 	lastAt    time.Duration
 	haveLast  bool
 
+	// lastReport remembers the most recent published report so Holdover
+	// can replay it (the frozen-pipeline failure mode).
+	lastReport Report
+	haveReport bool
+
 	rng *rand.Rand
 }
 
@@ -187,10 +192,26 @@ func (t *Tracker) Report(truth geom.Pose, at time.Duration) Report {
 	}
 	noiseR := geom.QuatFromAxisAngle(axis, t.rng.NormFloat64()*angSigma)
 
-	return Report{
+	rep := Report{
 		Pose: geom.NewPose(noiseR.Mul(ideal.Rot), ideal.Trans.Add(noiseT)),
 		At:   at,
 	}
+	t.lastReport, t.haveReport = rep, true
+	return rep
+}
+
+// Holdover returns what a frozen tracking pipeline publishes: the last
+// report's pose re-stamped at the given time — fresh timestamp, stale
+// pose. It consumes no randomness, so a freeze window leaves the noise
+// stream exactly where a healthy report sequence would resume it. Before
+// any report exists it returns an identity-pose report.
+func (t *Tracker) Holdover(at time.Duration) Report {
+	if !t.haveReport {
+		return Report{Pose: geom.PoseIdentity(), At: at}
+	}
+	rep := t.lastReport
+	rep.At = at
+	return rep
 }
 
 // NextInterval returns the gap until the next tracking report: uniform in

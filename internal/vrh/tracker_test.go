@@ -180,3 +180,42 @@ func TestWithFrames(t *testing.T) {
 		t.Error("WithFrames did not pin offset")
 	}
 }
+
+// Holdover replays the last report with a fresh timestamp and consumes no
+// randomness — a freeze window must leave the noise stream untouched.
+func TestHoldover(t *testing.T) {
+	tr := New(3)
+	truth := geom.NewPose(geom.QuatIdentity(), geom.V(0.3, 1.5, 0.4))
+	rep := tr.Report(truth, 10*time.Millisecond)
+
+	held := tr.Holdover(20 * time.Millisecond)
+	if held.At != 20*time.Millisecond {
+		t.Errorf("holdover At = %v, want 20ms", held.At)
+	}
+	if held.Pose != rep.Pose {
+		t.Error("holdover pose differs from the last report")
+	}
+
+	// The RNG stream is untouched: a twin tracker that never held over
+	// produces bit-identical subsequent reports.
+	twin := New(3)
+	twin.Report(truth, 10*time.Millisecond)
+	a := tr.Report(truth, 30*time.Millisecond)
+	b := twin.Report(truth, 30*time.Millisecond)
+	if a.Pose != b.Pose {
+		t.Error("holdover consumed randomness — subsequent reports diverged")
+	}
+}
+
+// Before any report exists, Holdover degrades to the identity pose rather
+// than inventing data.
+func TestHoldoverBeforeFirstReport(t *testing.T) {
+	tr := New(4)
+	rep := tr.Holdover(5 * time.Millisecond)
+	if rep.At != 5*time.Millisecond {
+		t.Errorf("At = %v", rep.At)
+	}
+	if rep.Pose != geom.PoseIdentity() {
+		t.Errorf("pose = %v, want identity", rep.Pose)
+	}
+}

@@ -34,7 +34,7 @@ type experimentFunc struct {
 	run  func(seed int64) (Result, error)
 }
 
-func (e experimentFunc) Name() string                  { return e.name }
+func (e experimentFunc) Name() string                   { return e.name }
 func (e experimentFunc) Run(seed int64) (Result, error) { return e.run(seed) }
 
 // multiResult concatenates sub-results in order — for experiments that
@@ -115,6 +115,13 @@ func Experiments() []Experiment {
 		}},
 		experimentFunc{"fig16", func(s int64) (Result, error) {
 			return Fig16(s), nil
+		}},
+		experimentFunc{"fig16-faults", func(s int64) (Result, error) {
+			r, err := Fig16Faults(s)
+			if err != nil {
+				return nil, err
+			}
+			return r, nil
 		}},
 		experimentFunc{"convergence", func(s int64) (Result, error) {
 			r, err := Convergence(s)

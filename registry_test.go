@@ -10,7 +10,7 @@ import (
 func TestExperimentsRegistryNames(t *testing.T) {
 	want := []string{
 		"fig3", "table1", "fig11", "table2", "tp",
-		"fig13", "fig14", "fig15", "table3", "fig16",
+		"fig13", "fig14", "fig15", "table3", "fig16", "fig16-faults",
 		"convergence", "ablations", "extensions",
 	}
 	exps := Experiments()

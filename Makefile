@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race verify bench bench-hotpath alloc-check metrics-smoke chaos-smoke clean
+.PHONY: all build vet test race lint lint-smoke verify bench bench-hotpath alloc-check metrics-smoke chaos-smoke clean
 
 all: verify
 
@@ -16,12 +16,33 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Tier-1 gate: everything must build, vet clean, and pass the full test
+# Static gate: gofmt-clean, go vet-clean, and zero unsuppressed
+# cyclops-vet findings (the repo's own invariant linter — determinism,
+# hot-path, metrics hygiene, error discipline; see DESIGN.md §10).
+# gofmt -l prints offending files; the test -z fails the target on any
+# output.
+lint:
+	@fmtout="$$(gofmt -l cmd internal *.go 2>/dev/null)"; \
+	if [ -n "$$fmtout" ]; then echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) run ./cmd/cyclops-vet ./...
+	@echo "lint: ok"
+
+# Lint self-test: cyclops-vet must exit non-zero on a tree with known
+# violations — proving the gate actually gates (a linter that silently
+# passes everything is worse than none).
+lint-smoke:
+	@if $(GO) run ./cmd/cyclops-vet -root internal/analysis/testdata/src/determinism -module fixture >/dev/null 2>&1; then \
+		echo "lint-smoke: cyclops-vet passed a known-bad fixture"; exit 1; fi
+	@echo "lint-smoke: ok"
+
+# Tier-1 gate: everything must build, lint clean, and pass the full test
 # suite under the race detector (the parallel experiment engine fans out
 # goroutines, so -race is part of the contract, not an extra).
 verify:
 	$(GO) build ./...
-	$(GO) vet ./...
+	$(MAKE) lint
+	$(MAKE) lint-smoke
 	$(GO) test -race ./...
 	$(MAKE) alloc-check
 	$(MAKE) metrics-smoke

@@ -1,0 +1,175 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Rule is one self-contained invariant check. Rules are pure functions of
+// the loaded module: they walk the typed ASTs and report findings through
+// the Pass. Adding a rule is a one-place change: implement the Check,
+// give it a Name/Doc/Suppress directive, and append it to Rules().
+type Rule struct {
+	// Name is the stable rule ID that findings carry ("determinism",
+	// "map-order", …).
+	Name string
+	// Doc is the one-paragraph description -list prints.
+	Doc string
+	// Suppress is the //cyclops: directive that silences this rule at a
+	// finding's line ("" = not suppressible).
+	Suppress string
+	// Check walks the module and reports findings.
+	Check func(p *Pass)
+}
+
+// RuleAnnotation is the pseudo-rule ID for malformed //cyclops: comments
+// (reported by the annotation parser itself, never suppressible).
+const RuleAnnotation = "annotation"
+
+// Finding is one reported violation.
+type Finding struct {
+	Rule string
+	Pos  token.Position
+	Msg  string
+}
+
+// String renders the finding in the conventional file:line:col form, with
+// the file path relative to the module root when possible.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Rule, f.Msg)
+}
+
+// Report is the outcome of running the rule table over a module.
+type Report struct {
+	// Findings are the unsuppressed findings, sorted by (file, line,
+	// column, rule, message).
+	Findings []Finding
+	// Suppressed counts findings silenced by valid annotations.
+	Suppressed int
+}
+
+// Pass carries the module and collects findings while rules run.
+type Pass struct {
+	Module *Module
+
+	rule       Rule
+	ann        *annotations
+	findings   []Finding
+	suppressed int
+}
+
+// Reportf records a finding for the running rule at pos, honoring the
+// rule's suppression directive.
+func (p *Pass) Reportf(pos token.Position, format string, args ...any) {
+	p.reportAs(p.rule.Name, p.rule.Suppress, pos, fmt.Sprintf(format, args...))
+}
+
+// ReportfSuppress is Reportf with an explicit suppression directive, for
+// rules whose sub-checks answer to different annotations (error-discipline
+// uses discard-ok and panic-ok).
+func (p *Pass) ReportfSuppress(dir string, pos token.Position, format string, args ...any) {
+	p.reportAs(p.rule.Name, dir, pos, fmt.Sprintf(format, args...))
+}
+
+func (p *Pass) reportAs(rule, dir string, pos token.Position, msg string) {
+	if dir != "" && p.ann.suppressed(dir, pos) {
+		p.suppressed++
+		return
+	}
+	p.findings = append(p.findings, Finding{Rule: rule, Pos: pos, Msg: msg})
+}
+
+// Pos converts a token.Pos to a module-root-relative Position.
+func (p *Pass) Pos(pos token.Pos) token.Position {
+	position := p.Module.Fset.Position(pos)
+	position.Filename = p.Module.relFile(position.Filename)
+	return position
+}
+
+func (m *Module) relFile(file string) string {
+	if rel, err := relIfUnder(m.Root, file); err == nil {
+		return rel
+	}
+	return file
+}
+
+func relIfUnder(root, file string) (string, error) {
+	if !strings.HasPrefix(file, root) {
+		return "", fmt.Errorf("outside root")
+	}
+	rel := strings.TrimPrefix(strings.TrimPrefix(file, root), "/")
+	if rel == "" {
+		return "", fmt.Errorf("outside root")
+	}
+	return rel, nil
+}
+
+// Run executes the rule table over the module and returns the
+// deterministic report.
+func Run(mod *Module, rules []Rule) Report {
+	p := &Pass{Module: mod}
+	p.ann = parseAnnotations(mod, func(rule string, pos token.Position, msg string) {
+		pos.Filename = mod.relFile(pos.Filename)
+		p.reportAs(rule, "", pos, msg)
+	})
+	for _, r := range rules {
+		p.rule = r
+		r.Check(p)
+	}
+	sort.Slice(p.findings, func(i, j int) bool {
+		a, b := p.findings[i], p.findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Msg < b.Msg
+	})
+	return Report{Findings: p.findings, Suppressed: p.suppressed}
+}
+
+// Rules returns the full rule table in its canonical order. New rules
+// register here and nowhere else.
+func Rules() []Rule {
+	return []Rule{
+		ruleDeterminism(),
+		ruleMapOrder(),
+		ruleHotPath(),
+		ruleMetrics(),
+		ruleErrDiscipline(),
+	}
+}
+
+// deterministicPackages are the module-relative package paths whose
+// non-test code must be a pure function of explicit seeds: the experiment
+// engine and everything it fans out over. The determinism and map-order
+// rules scope to these (a trailing /... is implied).
+var deterministicPackages = []string{
+	"internal/core",
+	"internal/sim",
+	"internal/fault",
+	"internal/trace",
+	"internal/parallel",
+	"internal/obs",
+	"internal/netem",
+}
+
+// inDeterministicScope reports whether a package (by module-relative
+// path) is covered by the determinism rules.
+func inDeterministicScope(rel string) bool {
+	for _, p := range deterministicPackages {
+		if rel == p || strings.HasPrefix(rel, p+"/") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,170 @@
+package analysis
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func loadFixture(t *testing.T, name string) *Module {
+	t.Helper()
+	mod, err := LoadTree(filepath.Join("testdata", "src", name), "fixture")
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	return mod
+}
+
+func findingStrings(rep Report) []string {
+	var out []string
+	for _, f := range rep.Findings {
+		out = append(out, f.String())
+	}
+	return out
+}
+
+// TestFixtures runs the full rule table over each fixture tree and pins
+// the findings (golden, one line per finding) and the suppressed count.
+// Each fixture exercises one rule's bad cases, good cases, and annotation
+// edge cases; the subtests run in parallel to exercise the shared stdlib
+// importer under -race.
+func TestFixtures(t *testing.T) {
+	cases := []struct {
+		fixture    string
+		want       []string
+		suppressed int
+	}{
+		{
+			fixture: "determinism",
+			want: []string{
+				"internal/sim/sim.go:11:16: determinism: time.Now in deterministic package internal/sim: derive timestamps from the simulation clock or the seed",
+				"internal/sim/sim.go:12:13: determinism: os.Getenv in deterministic package internal/sim: plumb configuration through options structs",
+				"internal/sim/sim.go:13:10: determinism: global math/rand.Float64 in deterministic package internal/sim: use rand.New(rand.NewSource(seed))",
+				"internal/sim/sim.go:16:14: determinism: time.Since in deterministic package internal/sim: derive durations from the simulation clock",
+			},
+			suppressed: 1, // the //cyclops:deterministic-ok time.Now in Tolerated
+		},
+		{
+			fixture: "maporder",
+			want: []string{
+				"internal/core/core.go:6:2: map-order: range over map m in deterministic package internal/core: extract sorted keys, or annotate //cyclops:deterministic-ok <reason>",
+				"internal/core/core.go:37:2: map-order: range over map b in deterministic package internal/core: extract sorted keys, or annotate //cyclops:deterministic-ok <reason>",
+			},
+			suppressed: 1, // the annotated range in Suppressed
+		},
+		{
+			fixture: "hotpath",
+			want: []string{
+				"hp/hp.go:11:7: hotpath: hot path Bad allocates with make: hoist the allocation out of the hot path",
+				"hp/hp.go:13:11: hotpath: hot path Bad: append result does not feed back into its slice (escapes/allocates); use the x = append(x, ...) form on a preallocated slice",
+				"hp/hp.go:15:9: hotpath: hot path Bad calls fmt.Errorf (allocates): precompute messages or use prebuilt errors",
+				"hp/hp.go:22:9: hotpath: hot path Box returns v as interface interface{} (allocates): return a concrete type or a prebuilt value",
+				"hp/hp.go:29:7: hotpath: hot path Convert converts to interface type interface{} (allocates)",
+				"hp/hp.go:31:7: hotpath: hot path Convert passes v as interface interface{} (allocates)",
+			},
+			suppressed: 1, // the //cyclops:alloc-ok make in Allowed
+		},
+		{
+			fixture: "metrics",
+			want: []string{
+				"a/a.go:8:10: metrics: metric name passed to Registry.Gauge must be a string literal, got dynamic",
+				`a/a.go:9:12: metrics: metric name "BadName" must be cyclops_-prefixed snake_case (^cyclops_[a-z][a-z0-9]*(_[a-z0-9]+)*$)`,
+				`a/a.go:10:12: metrics: metric "cyclops_good_total" already registered at a/a.go:7: one call site per name module-wide (or annotate //cyclops:metric-ok <reason>)`,
+				`a/a.go:11:14: metrics: metric "cyclops_good_total" already registered as a different kind (Histogram vs Counter) at a/a.go:7: one call site per name module-wide (or annotate //cyclops:metric-ok <reason>)`,
+			},
+			suppressed: 1, // b/b.go's annotated duplicate of cyclops_shared_total
+		},
+		{
+			fixture: "errors",
+			want: []string{
+				"internal/x/x.go:11:2: error-discipline: error discarded with _ in internal/x: handle it, return it, or annotate //cyclops:discard-ok <reason>",
+				"internal/x/x.go:12:5: error-discipline: error discarded with _ in internal/x: handle it, return it, or annotate //cyclops:discard-ok <reason>",
+				"internal/x/x.go:20:2: error-discipline: panic in internal/x: return an error, or annotate //cyclops:panic-ok <reason>",
+			},
+			suppressed: 2, // the discard-ok discard and the panic-ok panic in Checked
+		},
+		{
+			fixture: "annotation",
+			want: []string{
+				"internal/a/a.go:5:1: annotation: unknown //cyclops: directive bogus",
+				"internal/a/a.go:7:2: annotation: //cyclops:panic-ok requires a reason",
+				"internal/a/a.go:8:2: error-discipline: panic in internal/a: return an error, or annotate //cyclops:panic-ok <reason>",
+				"internal/a/a.go:13:2: annotation: malformed annotation // cyclops:panic-ok spaced-out marker (write //cyclops:panic-ok with no space after //)",
+				"internal/a/a.go:14:2: error-discipline: panic in internal/a: return an error, or annotate //cyclops:panic-ok <reason>",
+			},
+			suppressed: 0, // reasonless and spaced-out suppressors suppress nothing
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.fixture, func(t *testing.T) {
+			t.Parallel()
+			rep := Run(loadFixture(t, tc.fixture), Rules())
+			got := findingStrings(rep)
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("findings mismatch\ngot:\n  %s\nwant:\n  %s",
+					join(got), join(tc.want))
+			}
+			if rep.Suppressed != tc.suppressed {
+				t.Errorf("suppressed = %d, want %d", rep.Suppressed, tc.suppressed)
+			}
+		})
+	}
+}
+
+func join(lines []string) string {
+	out := ""
+	for i, l := range lines {
+		if i > 0 {
+			out += "\n  "
+		}
+		out += l
+	}
+	return out
+}
+
+// TestReportDeterministic loads the same fixture twice and demands
+// byte-identical reports — the analyzer's own output is held to the
+// repo's determinism bar.
+func TestReportDeterministic(t *testing.T) {
+	a := Run(loadFixture(t, "metrics"), Rules())
+	b := Run(loadFixture(t, "metrics"), Rules())
+	if !reflect.DeepEqual(findingStrings(a), findingStrings(b)) {
+		t.Errorf("two runs over one fixture disagreed:\n%s\nvs\n%s",
+			join(findingStrings(a)), join(findingStrings(b)))
+	}
+}
+
+// TestRulesTable pins the catalog's shape: stable unique names, docs, and
+// a suppression directive everywhere one is promised.
+func TestRulesTable(t *testing.T) {
+	wantNames := []string{"determinism", "map-order", "hotpath", "metrics", "error-discipline"}
+	rules := Rules()
+	if len(rules) != len(wantNames) {
+		t.Fatalf("rule count = %d, want %d", len(rules), len(wantNames))
+	}
+	seen := map[string]bool{}
+	for i, r := range rules {
+		if r.Name != wantNames[i] {
+			t.Errorf("rule %d = %q, want %q", i, r.Name, wantNames[i])
+		}
+		if seen[r.Name] {
+			t.Errorf("duplicate rule name %q", r.Name)
+		}
+		seen[r.Name] = true
+		if r.Doc == "" {
+			t.Errorf("rule %q has no doc", r.Name)
+		}
+		if r.Check == nil {
+			t.Errorf("rule %q has no check", r.Name)
+		}
+	}
+}
+
+// TestLoadTreeMissingDir pins the load-error path the cyclops-vet command
+// turns into exit status 2.
+func TestLoadTreeMissingDir(t *testing.T) {
+	if _, err := LoadTree(filepath.Join("testdata", "src", "no-such-fixture"), "fixture"); err == nil {
+		t.Fatal("loading a missing tree succeeded")
+	}
+}

@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// forbiddenStdlibFuncs maps package path → function name → the message
+// suffix explaining the sanctioned alternative. Any *use* of the object is
+// flagged (calls, but also taking the function as a value).
+var forbiddenStdlibFuncs = map[string]map[string]string{
+	"time": {
+		"Now":   "derive timestamps from the simulation clock or the seed",
+		"Since": "derive durations from the simulation clock",
+		"Until": "derive durations from the simulation clock",
+	},
+	"os": {
+		"Getenv":    "plumb configuration through options structs",
+		"LookupEnv": "plumb configuration through options structs",
+		"Environ":   "plumb configuration through options structs",
+	},
+}
+
+// sanctionedRandFuncs are the math/rand package-level constructors that
+// ARE the sanctioned seeded pattern; every other package-level math/rand
+// function draws from the global, scheduling-ordered source and is
+// forbidden in deterministic packages.
+var sanctionedRandFuncs = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+func ruleDeterminism() Rule {
+	return Rule{
+		Name: "determinism",
+		Doc: "In the deterministic packages (internal/{core,sim,fault,trace,parallel,obs,netem}), " +
+			"non-test code must be a pure function of explicit seeds: time.Now/Since/Until, " +
+			"os.Getenv/LookupEnv/Environ, and the global math/rand top-level functions are forbidden " +
+			"(rand.New(rand.NewSource(seed)) is the sanctioned pattern).",
+		Suppress: dirDetOK,
+		Check: func(p *Pass) {
+			for _, pkg := range p.Module.Pkgs {
+				if !inDeterministicScope(pkg.RelPath) {
+					continue
+				}
+				for _, f := range pkg.Files {
+					ast.Inspect(f, func(n ast.Node) bool {
+						id, ok := n.(*ast.Ident)
+						if !ok {
+							return true
+						}
+						fn, ok := pkg.Info.Uses[id].(*types.Func)
+						if !ok || fn.Pkg() == nil {
+							return true
+						}
+						if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+							return true // methods (e.g. (*rand.Rand).Intn) are fine
+						}
+						path := fn.Pkg().Path()
+						if alt, bad := forbiddenStdlibFuncs[path][fn.Name()]; bad {
+							p.Reportf(p.Pos(id.Pos()),
+								"%s.%s in deterministic package %s: %s", path, fn.Name(), pkg.RelPath, alt)
+							return true
+						}
+						if (path == "math/rand" || path == "math/rand/v2") && !sanctionedRandFuncs[fn.Name()] {
+							p.Reportf(p.Pos(id.Pos()),
+								"global %s.%s in deterministic package %s: use rand.New(rand.NewSource(seed))",
+								path, fn.Name(), pkg.RelPath)
+						}
+						return true
+					})
+				}
+			}
+		},
+	}
+}
+
+func ruleMapOrder() Rule {
+	return Rule{
+		Name: "map-order",
+		Doc: "In the deterministic packages, `for range` over a map iterates in randomized order and " +
+			"must not exist in non-test code unless annotated //cyclops:deterministic-ok <reason> " +
+			"(sorted-key extraction is the sanctioned pattern; a justified annotation states why " +
+			"order cannot leak, e.g. the loop builds another map or the reduction is exact).",
+		Suppress: dirDetOK,
+		Check: func(p *Pass) {
+			for _, pkg := range p.Module.Pkgs {
+				if !inDeterministicScope(pkg.RelPath) {
+					continue
+				}
+				for _, f := range pkg.Files {
+					ast.Inspect(f, func(n ast.Node) bool {
+						rs, ok := n.(*ast.RangeStmt)
+						if !ok {
+							return true
+						}
+						tv, ok := pkg.Info.Types[rs.X]
+						if !ok {
+							return true
+						}
+						if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+							p.Reportf(p.Pos(rs.For),
+								"range over map %s in deterministic package %s: extract sorted keys, or annotate //cyclops:deterministic-ok <reason>",
+								types.ExprString(rs.X), pkg.RelPath)
+						}
+						return true
+					})
+				}
+			}
+		},
+	}
+}

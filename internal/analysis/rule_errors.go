@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ruleErrDiscipline enforces error discipline in internal/... non-test
+// code: no `_ =` discards of error values (every error is handled,
+// returned, or carries a //cyclops:discard-ok justification) and no
+// panic(...) without a //cyclops:panic-ok justification (panics are
+// reserved for provably-impossible states and registration-time contract
+// violations; runtime paths return errors).
+func ruleErrDiscipline() Rule {
+	return Rule{
+		Name: "error-discipline",
+		Doc: "In internal/... non-test code, `_ =` error discards require //cyclops:discard-ok <reason> " +
+			"and panic(...) requires //cyclops:panic-ok <reason>.",
+		Suppress: dirDiscardOK,
+		Check: func(p *Pass) {
+			for _, pkg := range p.Module.Pkgs {
+				if pkg.RelPath != "internal" && !strings.HasPrefix(pkg.RelPath, "internal/") {
+					continue
+				}
+				for _, f := range pkg.Files {
+					ast.Inspect(f, func(n ast.Node) bool {
+						switch n := n.(type) {
+						case *ast.AssignStmt:
+							checkDiscards(p, pkg, n)
+						case *ast.CallExpr:
+							if builtinName(pkg.Info, n.Fun) == "panic" {
+								p.ReportfSuppress(dirPanicOK, p.Pos(n.Pos()),
+									"panic in %s: return an error, or annotate //cyclops:panic-ok <reason>",
+									pkg.RelPath)
+							}
+						}
+						return true
+					})
+				}
+			}
+		},
+	}
+}
+
+// checkDiscards flags blank identifiers that receive an error value:
+// `_ = f()`, `x, _ := g()`, and the pairwise form `a, _ = b, err`.
+func checkDiscards(p *Pass, pkg *Package, as *ast.AssignStmt) {
+	info := pkg.Info
+	valueType := func(i int) types.Type {
+		if len(as.Rhs) == len(as.Lhs) {
+			if tv, ok := info.Types[as.Rhs[i]]; ok {
+				return tv.Type
+			}
+			return nil
+		}
+		// Multi-assign from one call: position i of the result tuple.
+		if len(as.Rhs) != 1 {
+			return nil
+		}
+		tv, ok := info.Types[as.Rhs[0]]
+		if !ok {
+			return nil
+		}
+		if tuple, ok := tv.Type.(*types.Tuple); ok && i < tuple.Len() {
+			return tuple.At(i).Type()
+		}
+		return nil
+	}
+	for i, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			continue
+		}
+		t := valueType(i)
+		if t == nil || !isErrorType(t) {
+			continue
+		}
+		p.Reportf(p.Pos(lhs.Pos()),
+			"error discarded with _ in %s: handle it, return it, or annotate //cyclops:discard-ok <reason>",
+			pkg.RelPath)
+	}
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, errorType)
+}

@@ -1,0 +1,207 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ruleHotPath checks every function annotated //cyclops:hotpath: the body
+// may not call into fmt, may not allocate with make/new, may not append
+// except the capacity-reusing self-append form `x = append(x, ...)`, and
+// may not convert values to interface types (explicitly, at call
+// arguments, or at returns) — every one of those is a heap allocation (or
+// an escape) on the paths the alloc-check runtime gate pins at zero
+// allocs/op. The check is per-function, not transitive: annotate each
+// function that must stay clean (the AllocsPerRun tests remain the
+// end-to-end backstop).
+func ruleHotPath() Rule {
+	return Rule{
+		Name: "hotpath",
+		Doc: "Functions annotated //cyclops:hotpath may not call fmt.*, allocate with make/new, " +
+			"append into anything but the slice itself (x = append(x, ...)), or convert values to " +
+			"interface types. Suppress a justified line with //cyclops:alloc-ok <reason>.",
+		Suppress: dirAllocOK,
+		Check: func(p *Pass) {
+			for _, pkg := range p.Module.Pkgs {
+				for _, f := range pkg.Files {
+					for _, decl := range f.Decls {
+						fn, ok := decl.(*ast.FuncDecl)
+						if !ok || fn.Body == nil || !funcHasDirective(fn, dirHotpath) {
+							continue
+						}
+						checkHotFunc(p, pkg, fn)
+					}
+				}
+			}
+		},
+	}
+}
+
+func checkHotFunc(p *Pass, pkg *Package, fn *ast.FuncDecl) {
+	info := pkg.Info
+
+	// Self-appends `x = append(x, ...)` reuse capacity and are the
+	// sanctioned pattern for preallocated slices; collect them first so
+	// the call walk below can exempt them.
+	selfAppend := map[*ast.CallExpr]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || builtinName(info, call.Fun) != "append" || len(call.Args) == 0 {
+			return true
+		}
+		if types.ExprString(as.Lhs[0]) == types.ExprString(call.Args[0]) {
+			selfAppend[call] = true
+		}
+		return true
+	})
+
+	// Result types of the enclosing function, for return-site checks.
+	var results *types.Tuple
+	if obj, ok := info.Defs[fn.Name].(*types.Func); ok {
+		results = obj.Type().(*types.Signature).Results()
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkHotCall(p, pkg, fn, n, selfAppend)
+		case *ast.ReturnStmt:
+			if results == nil || len(n.Results) != results.Len() {
+				return true // naked return or single-call multi-value: nothing concrete to flag
+			}
+			for i, res := range n.Results {
+				if isInterface(results.At(i).Type()) && convertsToInterface(info, res) {
+					p.Reportf(p.Pos(res.Pos()),
+						"hot path %s returns %s as interface %s (allocates): return a concrete type or a prebuilt value",
+						fn.Name.Name, types.ExprString(res), results.At(i).Type())
+				}
+			}
+		}
+		return true
+	})
+}
+
+func checkHotCall(p *Pass, pkg *Package, fn *ast.FuncDecl, call *ast.CallExpr, selfAppend map[*ast.CallExpr]bool) {
+	info := pkg.Info
+
+	// Conversion T(x)? Flag only conversions to interface types.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if isInterface(tv.Type) && len(call.Args) == 1 && convertsToInterface(info, call.Args[0]) {
+			p.Reportf(p.Pos(call.Pos()),
+				"hot path %s converts to interface type %s (allocates)", fn.Name.Name, tv.Type)
+		}
+		return
+	}
+
+	switch builtinName(info, call.Fun) {
+	case "append":
+		if !selfAppend[call] {
+			p.Reportf(p.Pos(call.Pos()),
+				"hot path %s: append result does not feed back into its slice (escapes/allocates); use the x = append(x, ...) form on a preallocated slice",
+				fn.Name.Name)
+		}
+		return
+	case "make", "new":
+		p.Reportf(p.Pos(call.Pos()),
+			"hot path %s allocates with %s: hoist the allocation out of the hot path",
+			fn.Name.Name, builtinName(info, call.Fun))
+		return
+	case "":
+		// not a builtin — fall through to the function-call checks
+	default:
+		return // len/cap/copy/... are fine
+	}
+
+	// fmt.* calls: always allocating (interface boxing + formatting).
+	if obj := calleeFunc(info, call.Fun); obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+		p.Reportf(p.Pos(call.Pos()),
+			"hot path %s calls fmt.%s (allocates): precompute messages or use prebuilt errors",
+			fn.Name.Name, obj.Name())
+		return
+	}
+
+	// Implicit interface conversions at call arguments.
+	sig, ok := info.Types[call.Fun].Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		pt := paramType(sig, i, call.Ellipsis.IsValid())
+		if pt == nil || !isInterface(pt) {
+			continue
+		}
+		if convertsToInterface(info, arg) {
+			p.Reportf(p.Pos(arg.Pos()),
+				"hot path %s passes %s as interface %s (allocates)",
+				fn.Name.Name, types.ExprString(arg), pt)
+		}
+	}
+}
+
+// paramType returns the type of parameter i of sig, unrolling variadics
+// (for a call without ..., the variadic tail's element type applies).
+func paramType(sig *types.Signature, i int, ellipsis bool) types.Type {
+	params := sig.Params()
+	n := params.Len()
+	if n == 0 {
+		return nil
+	}
+	if sig.Variadic() && i >= n-1 && !ellipsis {
+		if sl, ok := params.At(n - 1).Type().(*types.Slice); ok {
+			return sl.Elem()
+		}
+	}
+	if i >= n {
+		return nil
+	}
+	return params.At(i).Type()
+}
+
+// convertsToInterface reports whether assigning e to an interface-typed
+// slot performs a concrete→interface conversion: true unless e is already
+// interface-typed or is the untyped nil.
+func convertsToInterface(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if b, ok := tv.Type.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	return !isInterface(tv.Type)
+}
+
+func isInterface(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+// builtinName returns the name of the builtin fun resolves to, or "".
+func builtinName(info *types.Info, fun ast.Expr) string {
+	id, ok := ast.Unparen(fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}
+
+// calleeFunc resolves fun to the *types.Func it calls, through selectors
+// and parentheses; nil for func-typed variables and literals.
+func calleeFunc(info *types.Info, fun ast.Expr) *types.Func {
+	switch e := ast.Unparen(fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[e].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[e.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}

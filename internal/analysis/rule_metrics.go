@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strconv"
+)
+
+// metricNameRE is the repo's metric-name contract: cyclops_-prefixed
+// snake_case (DESIGN.md §7).
+var metricNameRE = regexp.MustCompile(`^cyclops_[a-z][a-z0-9]*(_[a-z0-9]+)*$`)
+
+// ruleMetrics enforces metrics hygiene at every obs registry constructor
+// call site ((*obs.Registry).Counter/Gauge/Histogram): the name must be a
+// string literal (greppable, never computed), must match the
+// cyclops_-prefixed snake_case contract, and must be registered from one
+// call site only, module-wide — a deliberately shared name (the sim
+// corpus aggregates) carries a //cyclops:metric-ok annotation at the
+// duplicate site. The obs package itself is exempt: its Merge plumbing
+// re-registers names that arrive in snapshots.
+func ruleMetrics() Rule {
+	return Rule{
+		Name: "metrics",
+		Doc: "Names passed to obs registry constructors must be string literals, cyclops_-prefixed " +
+			"snake_case, and unique module-wide (one registering call site per name; annotate a " +
+			"deliberate share with //cyclops:metric-ok <reason>). The obs package's own re-registration " +
+			"plumbing is exempt.",
+		Suppress: dirMetricOK,
+		Check: func(p *Pass) {
+			type site struct {
+				at   ast.Node
+				posn string // "file:line", for the duplicate message
+				pkg  *Package
+				kind string
+				name string
+			}
+			var sites []site
+			for _, pkg := range p.Module.Pkgs {
+				if pkg.Types.Name() == "obs" {
+					continue
+				}
+				for _, f := range pkg.Files {
+					ast.Inspect(f, func(n ast.Node) bool {
+						call, ok := n.(*ast.CallExpr)
+						if !ok {
+							return true
+						}
+						kind, ok := registryConstructor(pkg.Info, call)
+						if !ok || len(call.Args) == 0 {
+							return true
+						}
+						lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+						if !ok || lit.Kind.String() != "STRING" {
+							p.Reportf(p.Pos(call.Args[0].Pos()),
+								"metric name passed to Registry.%s must be a string literal, got %s",
+								kind, types.ExprString(call.Args[0]))
+							return true
+						}
+						name, err := strconv.Unquote(lit.Value)
+						if err != nil {
+							return true
+						}
+						if !metricNameRE.MatchString(name) {
+							p.Reportf(p.Pos(lit.Pos()),
+								"metric name %q must be cyclops_-prefixed snake_case (%s)",
+								name, metricNameRE)
+							return true
+						}
+						pos := p.Pos(lit.Pos())
+						sites = append(sites, site{
+							at:   lit,
+							posn: fmt.Sprintf("%s:%d", pos.Filename, pos.Line),
+							pkg:  pkg,
+							kind: kind,
+							name: name,
+						})
+						return true
+					})
+				}
+			}
+			// Uniqueness: sites arrive in (package path, file, position)
+			// order already — the loader sorts packages and files and
+			// Inspect walks in source order — so the first site of a name
+			// is canonical and later registering sites are findings.
+			first := map[string]site{}
+			for _, s := range sites {
+				if prev, dup := first[s.name]; dup {
+					detail := ""
+					if prev.kind != s.kind {
+						detail = fmt.Sprintf(" as a different kind (%s vs %s)", s.kind, prev.kind)
+					}
+					p.Reportf(p.Pos(s.at.Pos()),
+						"metric %q already registered%s at %s: one call site per name module-wide (or annotate //cyclops:metric-ok <reason>)",
+						s.name, detail, prev.posn)
+					continue
+				}
+				first[s.name] = s
+			}
+		},
+	}
+}
+
+// registryConstructor reports whether call is
+// (*obs.Registry).Counter/Gauge/Histogram and which one.
+func registryConstructor(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Name() != "obs" {
+		return "", false
+	}
+	switch fn.Name() {
+	case "Counter", "Gauge", "Histogram":
+	default:
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Name() != "Registry" {
+		return "", false
+	}
+	return fn.Name(), true
+}

@@ -1,0 +1,15 @@
+// Package a exercises the annotation parser. Cyclops: a prose colon like
+// this one is not an annotation and must stay quiet.
+package a
+
+//cyclops:bogus not a directive
+func A() {
+	//cyclops:panic-ok
+	panic("reasonless suppressor suppresses nothing")
+}
+
+// B spaces out the marker, which the parser calls out as a near-miss.
+func B() {
+	// cyclops:panic-ok spaced-out marker
+	panic("not suppressed either")
+}

@@ -1,0 +1,29 @@
+package sim
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Bad reaches for every forbidden source of nondeterminism.
+func Bad() time.Duration {
+	start := time.Now()
+	mode := os.Getenv("FIXTURE_MODE")
+	if rand.Float64() > 0.5 && mode != "" {
+		return 0
+	}
+	return time.Since(start)
+}
+
+// Good uses the sanctioned seeded pattern.
+func Good(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+// Tolerated carries a justification.
+func Tolerated() time.Time {
+	//cyclops:deterministic-ok wall-clock is only logged here, never fed into results
+	return time.Now()
+}

@@ -1,0 +1,30 @@
+package x
+
+import "errors"
+
+func fail() error { return errors.New("x") }
+
+func pair() (int, error) { return 0, errors.New("x") }
+
+// Discard exercises every blank-assignment shape.
+func Discard() int {
+	_ = fail()
+	n, _ := pair()
+	//cyclops:discard-ok fixture demonstrates a justified discard
+	_ = fail()
+	return n
+}
+
+// Boom panics without a justification.
+func Boom() {
+	panic("boom")
+}
+
+// Checked handles its error and justifies its panic.
+func Checked() error {
+	if err := fail(); err != nil {
+		return err
+	}
+	//cyclops:panic-ok unreachable: fail always errors in this fixture
+	panic("justified")
+}

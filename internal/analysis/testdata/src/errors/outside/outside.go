@@ -1,0 +1,11 @@
+package outside
+
+import "errors"
+
+func fail() error { return errors.New("x") }
+
+// Loose is outside internal/ — discards and panics stay quiet here.
+func Loose() {
+	_ = fail()
+	panic("fine out here")
+}

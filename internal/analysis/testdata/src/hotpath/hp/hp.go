@@ -1,0 +1,48 @@
+package hp
+
+import "fmt"
+
+type thing struct{ buf []int }
+
+// Bad violates every hot-path clause.
+//
+//cyclops:hotpath fixture
+func (t *thing) Bad(n int) error {
+	s := make([]int, n)
+	t.buf = append(t.buf, n)
+	other := append(s, 1)
+	t.buf = other
+	return fmt.Errorf("n=%d", n)
+}
+
+// Box returns a concrete value through an interface result.
+//
+//cyclops:hotpath fixture
+func Box(v int) interface{} {
+	return v
+}
+
+// Convert boxes explicitly and implicitly.
+//
+//cyclops:hotpath fixture
+func Convert(v int) {
+	x := interface{}(v)
+	_ = x
+	sink(v)
+}
+
+func sink(v interface{}) { _ = v }
+
+// NotHot does all of the above unannotated — quiet.
+func NotHot(n int) []int {
+	return append([]int{}, n)
+}
+
+// Allowed suppresses a justified allocation.
+//
+//cyclops:hotpath fixture
+func Allowed() int {
+	//cyclops:alloc-ok warmup allocation, measured at zero steady-state by the alloc gate
+	s := make([]int, 4)
+	return len(s)
+}

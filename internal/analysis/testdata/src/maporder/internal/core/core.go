@@ -1,0 +1,41 @@
+package core
+
+// Flagged ranges over a map with no annotation.
+func Flagged(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Suppressed carries a justification.
+func Suppressed(m map[string]int) int {
+	total := 0
+	//cyclops:deterministic-ok integer addition is order-exact
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Slices iterate deterministically and stay quiet.
+func Slices(s []int) int {
+	total := 0
+	for _, v := range s {
+		total += v
+	}
+	return total
+}
+
+// Named map types are still maps underneath.
+type bag map[string]int
+
+// FlaggedNamed ranges over a named map type.
+func FlaggedNamed(b bag) int {
+	total := 0
+	for _, v := range b {
+		total += v
+	}
+	return total
+}

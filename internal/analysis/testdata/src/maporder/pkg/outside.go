@@ -1,0 +1,10 @@
+package pkg
+
+// Sum ranges over a map outside the deterministic scope — quiet.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,13 @@
+package a
+
+import "fixture/internal/obs"
+
+// Register exercises the literal, spelling, and uniqueness clauses.
+func Register(r *obs.Registry, dynamic string) {
+	r.Counter("cyclops_good_total", "first site, quiet")
+	r.Gauge(dynamic, "computed name")
+	r.Counter("BadName", "not snake_case, no prefix")
+	r.Counter("cyclops_good_total", "duplicate, same kind")
+	r.Histogram("cyclops_good_total", "duplicate, different kind", nil)
+	r.Counter("cyclops_shared_total", "canonical site of a shared series")
+}

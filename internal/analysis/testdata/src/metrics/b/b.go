@@ -1,0 +1,9 @@
+package b
+
+import "fixture/internal/obs"
+
+// Register shares a/a.go's series deliberately, with the annotation.
+func Register(r *obs.Registry) {
+	//cyclops:metric-ok deliberately feeds the series registered in a/a.go
+	r.Counter("cyclops_shared_total", "suppressed duplicate")
+}

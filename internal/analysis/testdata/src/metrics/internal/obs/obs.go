@@ -1,0 +1,21 @@
+// Package obs mimics the real registry's constructor surface so call
+// sites in the fixture type-check against the same method shapes.
+package obs
+
+type Registry struct{}
+
+type Counter struct{}
+
+type Gauge struct{}
+
+type Histogram struct{}
+
+func (r *Registry) Counter(name, help string) *Counter { return nil }
+
+func (r *Registry) Gauge(name, help string) *Gauge { return nil }
+
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram { return nil }
+
+// reregister is the exemption the rule grants the obs package itself:
+// computed names inside obs stay quiet.
+func (r *Registry) reregister(name string) *Counter { return r.Counter(name, "") }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"cyclops/internal/fault"
+	"cyclops/internal/gma"
 	"cyclops/internal/link"
 	"cyclops/internal/motion"
 	"cyclops/internal/netem"
@@ -235,212 +236,35 @@ func (s *System) Run(opts RunOptions) (RunResult, error) {
 		sup.SolveFailed(0)
 		first.V = s.Plant.CurrentVoltages()
 	}
-	lastV := first.V
-
 	// The TX model does not depend on the headset pose: compile it once
 	// and every P solve of the run reuses the precomputed form.
-	gt := s.Map.TXModel(s.KTX).Compile()
-
-	// Recent reports, kept over a 50 ms horizon: the paper measures
-	// speed as the VRH-T displacement across each 50 ms window, which
-	// averages down the per-report tracking noise. The ring reuses one
-	// backing array for the whole run; the old slice-and-reslice window
-	// (recent = recent[1:]) leaked capacity and reallocated on every
-	// window's worth of reports.
-	const speedWindow = 50 * time.Millisecond
-	var recent reportRing
-	reportInterval := func() time.Duration {
-		if opts.ReportEvery > 0 {
-			return opts.ReportEvery
-		}
-		return s.Tracker.NextInterval()
+	l := &runLoop{
+		s:           s,
+		opts:        opts,
+		tick:        tick,
+		sampleEvery: sampleEvery,
+		rm:          rm,
+		mon:         mon,
+		stream:      stream,
+		popts:       popts,
+		inj:         inj,
+		sup:         sup,
+		gt:          s.Map.TXModel(s.KTX).Compile(),
+		lastV:       first.V,
+		pendingAt:   -1,
+		wasUp:       true,
 	}
-	nextReport := reportInterval()
-
-	// Pending voltage command: computed at a report, applied after the
-	// hardware latency.
-	var pendingV pointing.Voltages
-	var pendingAt time.Duration = -1
-
-	var upTicks, totalTicks int
-	var latencySum time.Duration
-	var latencyN int
-	wasUp := true
-	var nextSample time.Duration
+	l.nextReport = l.reportInterval()
 
 	// One sample lands every sampleEvery from 0 through dur inclusive;
 	// sizing the slice up front keeps the record step allocation-free
 	// (away from the periodic growth copies append would do).
-	res.Samples = make([]Sample, 0, dur/sampleEvery+1)
+	l.res.Samples = make([]Sample, 0, dur/sampleEvery+1)
 
 	for at := time.Duration(0); at <= dur; at += tick {
-		s.Plant.SetHeadset(opts.Program.Pose(at))
-
-		// Injected fault state for this tick, applied through the
-		// device surfaces (which stay fault-agnostic).
-		var fs fault.State
-		if inj != nil {
-			fs = inj.At(at)
-			s.Plant.SetAttenuationDB(fs.AttenDB)
-			s.Plant.TXDev.SetHold(fs.GalvoStuck)
-			s.Plant.RXDev.SetHold(fs.GalvoStuck)
-			s.Plant.TXDev.SetRangeLimit(fs.GalvoSatLimit)
-			s.Plant.RXDev.SetRangeLimit(fs.GalvoSatLimit)
-		}
-
-		// Apply a settled mirror command.
-		if pendingAt >= 0 && at >= pendingAt {
-			s.Plant.ApplyVoltages(pendingV)
-			lastV = pendingV
-			pendingAt = -1
-		}
-
-		// Tracking report due? A blackout window swallows the report
-		// entirely (no pose, no solve — but the cadence clock keeps
-		// running, like the real pipeline's dropped frames).
-		if at >= nextReport && !opts.DisableTP && !fs.TrackerBlackout {
-			var rep vrh.Report
-			if fs.TrackerFreeze {
-				// Frozen pipeline: stale pose, fresh timestamp, no
-				// RNG consumed — the noise stream resumes untouched.
-				rep = s.Tracker.Holdover(at)
-			} else {
-				rep = s.Tracker.Report(s.Plant.Headset(), at)
-			}
-			recent.push(rep)
-			for recent.len() > 1 && rep.At-recent.front().At > speedWindow {
-				recent.popFront()
-			}
-
-			// Warm-start from where the mirrors will actually be when
-			// the new command lands: if a command is still in flight,
-			// the mirrors are already moving to pendingV, and lastV is
-			// one report staler than the hardware's trajectory.
-			warmV := lastV
-			if pendingAt >= 0 {
-				warmV = pendingV
-			}
-			switch {
-			case !rep.Pose.Finite():
-				// Poisoned report: refuse the solve at the door
-				// (pointing would reject it too — this keeps the NaN
-				// out of the model transform entirely).
-				rm.reports.Inc()
-				res.Points++
-				res.PointFailures++
-				if sup != nil {
-					sup.SolveFailed(at)
-				}
-			case fs.SolverDiverge:
-				// Injected solver divergence: the attempt fails
-				// before the iteration produces anything usable.
-				rm.reports.Inc()
-				res.Points++
-				res.PointFailures++
-				if sup != nil {
-					sup.SolveFailed(at)
-				}
-			case sup != nil && !sup.AllowSolve(at):
-				// Backoff: skip this report's solve; the cadence and
-				// the speed window still advance.
-				rm.reports.Inc()
-			default:
-				// The RX model rides on the headset: transformed and
-				// compiled once per report, then shared by every Beam
-				// evaluation inside the solve.
-				gr := s.Map.RXModel(s.KRX, rep.Pose).Compile()
-				startV := warmV
-				if sup != nil {
-					startV = sup.StartVoltages(warmV)
-				}
-				pres, perr := pointing.PointCompiled(&gt, &gr, startV, popts)
-				rm.reports.Inc()
-				res.Points++
-				if perr != nil {
-					res.PointFailures++
-					if sup != nil {
-						sup.SolveFailed(at)
-					}
-				} else {
-					res.TotalPointIters += pres.Iterations
-					res.TotalGPrimeIters += pres.GPrimeIterations
-					// Hardware latency: DAQ conversion + mirror
-					// settle, as the devices report it. We probe the
-					// TX device's cost without mutating it by using
-					// the spec directly (both ends move in parallel).
-					lat := hardwareLatency(s)
-					rm.repoint.Observe(lat.Seconds())
-					latencySum += lat
-					latencyN++
-					pendingV = pres.V
-					pendingAt = at + lat
-					if sup != nil {
-						sup.SolveOK(pres.V)
-					}
-				}
-			}
-			nextReport = at + reportInterval()
-		} else if at >= nextReport && !opts.DisableTP {
-			nextReport = at + reportInterval()
-		}
-
-		// Spiral reacquisition: when solves keep failing, the supervisor
-		// sweeps the mirrors deterministically around the last-good
-		// voltages, one probe per settle interval, independent of the
-		// report cadence. In-flight commands are never clobbered.
-		if sup != nil && pendingAt < 0 && sup.SpiralDue(at) {
-			v := sup.SpiralNext(at, lastV)
-			lat := hardwareLatency(s)
-			pendingV = v
-			pendingAt = at + lat
-		}
-
-		// Physics + monitors.
-		power := s.Plant.ReceivedPowerDBm()
-		up := mon.Observe(at, power)
-		if wasUp && !up {
-			res.Disconnections++
-		}
-		wasUp = up
-		if up {
-			upTicks++
-		}
-		totalTicks++
-		powerOK := power >= s.Plant.Config.Transceiver.SensitivityDBm
-		degraded := false
-		if sup != nil {
-			sup.Observe(at, tick, up, powerOK)
-			degraded = sup.State() == SupDegraded
-			if degraded {
-				res.DegradedTicks++
-			}
-		}
-		if degraded {
-			// Graceful degradation: the stream's clock advances but
-			// accounting freezes — a long outage is marked, not billed
-			// as measured zero-throughput windows.
-			stream.FreezeTick(at, tick)
-		} else {
-			stream.Tick(at, tick, up, s.Plant.Config.Transceiver.OptimalGoodputGbps)
-		}
-
-		if at >= nextSample {
-			var lin, ang float64
-			if recent.len() >= 2 {
-				lin, ang = vrh.Speeds(recent.front(), recent.back())
-			}
-			res.Samples = append(res.Samples, Sample{
-				At:       at,
-				PowerDBm: power,
-				Up:       up,
-				PowerOK:  powerOK,
-				LinSpeed: lin,
-				AngSpeed: ang,
-				Degraded: degraded,
-			})
-			nextSample = at + sampleEvery
-		}
+		l.step(at)
 	}
+	res = l.res
 
 	if sup != nil {
 		sup.Finish()
@@ -454,19 +278,247 @@ func (s *System) Run(opts RunOptions) (RunResult, error) {
 		}
 	}
 	res.Windows = stream.Finish()
-	if totalTicks > 0 {
-		res.UpFraction = float64(upTicks) / float64(totalTicks)
+	if l.totalTicks > 0 {
+		res.UpFraction = float64(l.upTicks) / float64(l.totalTicks)
 	}
-	if latencyN > 0 {
-		res.MeanTPLatency = latencySum / time.Duration(latencyN)
+	if l.latencyN > 0 {
+		res.MeanTPLatency = l.latencySum / time.Duration(l.latencyN)
 	}
-	rm.ticks.Add(float64(totalTicks))
-	rm.upTicks.Add(float64(upTicks))
+	rm.ticks.Add(float64(l.totalTicks))
+	rm.upTicks.Add(float64(l.upTicks))
 	res.Metrics = reg.Snapshot().Diff(startSnap)
 	if publish {
 		obs.Default().Merge(res.Metrics)
 	}
 	return res, nil
+}
+
+// speedWindow is the horizon recent reports are kept over: the paper
+// measures speed as the VRH-T displacement across each 50 ms window,
+// which averages down the per-report tracking noise.
+const speedWindow = 50 * time.Millisecond
+
+// runLoop is one run's per-tick state. Pulling the tick body out of Run
+// into step makes it a named unit the hotpath lint can hold to the
+// no-allocation contract; the operations and their order are exactly the
+// historical inline loop's, so results stay bit-identical.
+type runLoop struct {
+	s           *System
+	opts        RunOptions
+	tick        time.Duration
+	sampleEvery time.Duration
+
+	rm     runMetrics
+	mon    *link.Monitor
+	stream *netem.Stream
+	popts  pointing.PointOptions
+	inj    *fault.Schedule
+	sup    *Supervisor
+	gt     gma.Compiled
+
+	res RunResult
+
+	// Recent reports, kept over the 50 ms speed horizon. The ring reuses
+	// one backing array for the whole run; the old slice-and-reslice
+	// window (recent = recent[1:]) leaked capacity and reallocated on
+	// every window's worth of reports.
+	recent reportRing
+
+	// Pending voltage command: computed at a report, applied after the
+	// hardware latency.
+	pendingV  pointing.Voltages
+	pendingAt time.Duration
+
+	lastV      pointing.Voltages
+	nextReport time.Duration
+	nextSample time.Duration
+	upTicks    int
+	totalTicks int
+	latencySum time.Duration
+	latencyN   int
+	wasUp      bool
+}
+
+func (l *runLoop) reportInterval() time.Duration {
+	if l.opts.ReportEvery > 0 {
+		return l.opts.ReportEvery
+	}
+	return l.s.Tracker.NextInterval()
+}
+
+// step advances the simulation by one tick: follow the program, apply
+// injected faults and settled mirror commands, consume a tracking report
+// when one is due (re-solving P warm-started from the in-flight
+// trajectory), then run physics, monitors, and traffic accounting.
+//
+//cyclops:hotpath runs once per simulated millisecond; Samples is pre-sized so the append never grows
+func (l *runLoop) step(at time.Duration) {
+	l.s.Plant.SetHeadset(l.opts.Program.Pose(at))
+
+	// Injected fault state for this tick, applied through the
+	// device surfaces (which stay fault-agnostic).
+	var fs fault.State
+	if l.inj != nil {
+		fs = l.inj.At(at)
+		l.s.Plant.SetAttenuationDB(fs.AttenDB)
+		l.s.Plant.TXDev.SetHold(fs.GalvoStuck)
+		l.s.Plant.RXDev.SetHold(fs.GalvoStuck)
+		l.s.Plant.TXDev.SetRangeLimit(fs.GalvoSatLimit)
+		l.s.Plant.RXDev.SetRangeLimit(fs.GalvoSatLimit)
+	}
+
+	// Apply a settled mirror command.
+	if l.pendingAt >= 0 && at >= l.pendingAt {
+		l.s.Plant.ApplyVoltages(l.pendingV)
+		l.lastV = l.pendingV
+		l.pendingAt = -1
+	}
+
+	// Tracking report due? A blackout window swallows the report
+	// entirely (no pose, no solve — but the cadence clock keeps
+	// running, like the real pipeline's dropped frames).
+	if at >= l.nextReport && !l.opts.DisableTP && !fs.TrackerBlackout {
+		var rep vrh.Report
+		if fs.TrackerFreeze {
+			// Frozen pipeline: stale pose, fresh timestamp, no
+			// RNG consumed — the noise stream resumes untouched.
+			rep = l.s.Tracker.Holdover(at)
+		} else {
+			rep = l.s.Tracker.Report(l.s.Plant.Headset(), at)
+		}
+		l.recent.push(rep)
+		for l.recent.len() > 1 && rep.At-l.recent.front().At > speedWindow {
+			l.recent.popFront()
+		}
+
+		// Warm-start from where the mirrors will actually be when
+		// the new command lands: if a command is still in flight,
+		// the mirrors are already moving to pendingV, and lastV is
+		// one report staler than the hardware's trajectory.
+		warmV := l.lastV
+		if l.pendingAt >= 0 {
+			warmV = l.pendingV
+		}
+		switch {
+		case !rep.Pose.Finite():
+			// Poisoned report: refuse the solve at the door
+			// (pointing would reject it too — this keeps the NaN
+			// out of the model transform entirely).
+			l.rm.reports.Inc()
+			l.res.Points++
+			l.res.PointFailures++
+			if l.sup != nil {
+				l.sup.SolveFailed(at)
+			}
+		case fs.SolverDiverge:
+			// Injected solver divergence: the attempt fails
+			// before the iteration produces anything usable.
+			l.rm.reports.Inc()
+			l.res.Points++
+			l.res.PointFailures++
+			if l.sup != nil {
+				l.sup.SolveFailed(at)
+			}
+		case l.sup != nil && !l.sup.AllowSolve(at):
+			// Backoff: skip this report's solve; the cadence and
+			// the speed window still advance.
+			l.rm.reports.Inc()
+		default:
+			// The RX model rides on the headset: transformed and
+			// compiled once per report, then shared by every Beam
+			// evaluation inside the solve.
+			gr := l.s.Map.RXModel(l.s.KRX, rep.Pose).Compile()
+			startV := warmV
+			if l.sup != nil {
+				startV = l.sup.StartVoltages(warmV)
+			}
+			pres, perr := pointing.PointCompiled(&l.gt, &gr, startV, l.popts)
+			l.rm.reports.Inc()
+			l.res.Points++
+			if perr != nil {
+				l.res.PointFailures++
+				if l.sup != nil {
+					l.sup.SolveFailed(at)
+				}
+			} else {
+				l.res.TotalPointIters += pres.Iterations
+				l.res.TotalGPrimeIters += pres.GPrimeIterations
+				// Hardware latency: DAQ conversion + mirror
+				// settle, as the devices report it. We probe the
+				// TX device's cost without mutating it by using
+				// the spec directly (both ends move in parallel).
+				lat := hardwareLatency(l.s)
+				l.rm.repoint.Observe(lat.Seconds())
+				l.latencySum += lat
+				l.latencyN++
+				l.pendingV = pres.V
+				l.pendingAt = at + lat
+				if l.sup != nil {
+					l.sup.SolveOK(pres.V)
+				}
+			}
+		}
+		l.nextReport = at + l.reportInterval()
+	} else if at >= l.nextReport && !l.opts.DisableTP {
+		l.nextReport = at + l.reportInterval()
+	}
+
+	// Spiral reacquisition: when solves keep failing, the supervisor
+	// sweeps the mirrors deterministically around the last-good
+	// voltages, one probe per settle interval, independent of the
+	// report cadence. In-flight commands are never clobbered.
+	if l.sup != nil && l.pendingAt < 0 && l.sup.SpiralDue(at) {
+		v := l.sup.SpiralNext(at, l.lastV)
+		lat := hardwareLatency(l.s)
+		l.pendingV = v
+		l.pendingAt = at + lat
+	}
+
+	// Physics + monitors.
+	power := l.s.Plant.ReceivedPowerDBm()
+	up := l.mon.Observe(at, power)
+	if l.wasUp && !up {
+		l.res.Disconnections++
+	}
+	l.wasUp = up
+	if up {
+		l.upTicks++
+	}
+	l.totalTicks++
+	powerOK := power >= l.s.Plant.Config.Transceiver.SensitivityDBm
+	degraded := false
+	if l.sup != nil {
+		l.sup.Observe(at, l.tick, up, powerOK)
+		degraded = l.sup.State() == SupDegraded
+		if degraded {
+			l.res.DegradedTicks++
+		}
+	}
+	if degraded {
+		// Graceful degradation: the stream's clock advances but
+		// accounting freezes — a long outage is marked, not billed
+		// as measured zero-throughput windows.
+		l.stream.FreezeTick(at, l.tick)
+	} else {
+		l.stream.Tick(at, l.tick, up, l.s.Plant.Config.Transceiver.OptimalGoodputGbps)
+	}
+
+	if at >= l.nextSample {
+		var lin, ang float64
+		if l.recent.len() >= 2 {
+			lin, ang = vrh.Speeds(l.recent.front(), l.recent.back())
+		}
+		l.res.Samples = append(l.res.Samples, Sample{
+			At:       at,
+			PowerDBm: power,
+			Up:       up,
+			PowerOK:  powerOK,
+			LinSpeed: lin,
+			AngSpeed: ang,
+			Degraded: degraded,
+		})
+		l.nextSample = at + l.sampleEvery
+	}
 }
 
 // reportRing is the 50 ms speed window's report queue: push at the back,

@@ -140,6 +140,7 @@ func (s *System) UseOracleModels() {
 	s.Map = vrspace.TrueMapping(s.Plant, s.Tracker)
 	s.calibrated = true
 	s.Plant.SetHeadset(link.DefaultHeadsetPose())
+	//cyclops:discard-ok best-effort pre-alignment; Run re-points on its first tick and handles the error there
 	_, _ = s.PointNow(0, pointing.Voltages{})
 }
 

@@ -109,6 +109,8 @@ func (p Params) Compile() Compiled {
 // pure, so reusing the first result is exact), and the plane normals are
 // the rotated unit normals passed through the same Unit() normalization
 // NewPlane applies.
+//
+//cyclops:hotpath zero-alloc contract pinned by TestCompiledBeamZeroAllocs and make alloc-check
 func (c *Compiled) Beam(v1, v2 float64) (geom.Ray, error) {
 	pn1 := c.m1.rotated(c.theta1 * v1).Unit()
 	pn2 := c.m2.rotated(c.theta1 * v2).Unit()

@@ -137,21 +137,29 @@ func (p Params) Transformed(m geom.Pose) Params {
 }
 
 // Valid performs a sanity check: directions non-zero, θ₁ non-zero, all
-// values finite.
+// values finite. Fields are checked in declaration order so the error
+// always names the same field for the same input — callers (and their
+// golden tests) see stable error text even when several fields are bad.
 func (p Params) Valid() error {
-	for name, v := range map[string]geom.Vec3{
-		"X0": p.X0, "N1": p.N1, "R1": p.R1, "N2": p.N2, "R2": p.R2,
-	} {
-		if v.IsZero() {
-			return fmt.Errorf("gma: %s is zero", name)
+	type field struct {
+		name string
+		v    geom.Vec3
+	}
+	directions := []field{
+		{"X0", p.X0}, {"N1", p.N1}, {"R1", p.R1}, {"N2", p.N2}, {"R2", p.R2},
+	}
+	for _, f := range directions {
+		if f.v.IsZero() {
+			return fmt.Errorf("gma: %s is zero", f.name)
 		}
 	}
-	for name, v := range map[string]geom.Vec3{
-		"P0": p.P0, "X0": p.X0, "N1": p.N1, "Q1": p.Q1, "R1": p.R1,
-		"N2": p.N2, "Q2": p.Q2, "R2": p.R2,
-	} {
-		if !v.Finite() {
-			return fmt.Errorf("gma: %s is not finite", name)
+	all := []field{
+		{"P0", p.P0}, {"X0", p.X0}, {"N1", p.N1}, {"Q1", p.Q1}, {"R1", p.R1},
+		{"N2", p.N2}, {"Q2", p.Q2}, {"R2", p.R2},
+	}
+	for _, f := range all {
+		if !f.v.Finite() {
+			return fmt.Errorf("gma: %s is not finite", f.name)
 		}
 	}
 	if p.Theta1 == 0 || math.IsNaN(p.Theta1) || math.IsInf(p.Theta1, 0) {

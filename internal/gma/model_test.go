@@ -171,6 +171,39 @@ func TestValid(t *testing.T) {
 	}
 }
 
+// TestValidDeterministicMessage pins the error text when several fields
+// are invalid at once: Valid must always blame the first bad field in
+// declaration order, not whichever a map iteration happened to visit
+// first (the bug cyclops-vet's map-order rule caught).
+func TestValidDeterministicMessage(t *testing.T) {
+	bad := Nominal()
+	bad.N1 = geom.Zero
+	bad.R2 = geom.Zero
+	for i := 0; i < 100; i++ {
+		err := bad.Valid()
+		if err == nil {
+			t.Fatal("invalid params accepted")
+		}
+		if got := err.Error(); got != "gma: N1 is zero" {
+			t.Fatalf("iteration %d: error %q, want %q (field order must be deterministic)",
+				i, got, "gma: N1 is zero")
+		}
+	}
+	bad = Nominal()
+	bad.Q1 = geom.V(math.Inf(1), 0, 0)
+	bad.Q2 = geom.V(math.NaN(), 0, 0)
+	for i := 0; i < 100; i++ {
+		err := bad.Valid()
+		if err == nil {
+			t.Fatal("non-finite params accepted")
+		}
+		if got := err.Error(); got != "gma: Q1 is not finite" {
+			t.Fatalf("iteration %d: error %q, want %q (field order must be deterministic)",
+				i, got, "gma: Q1 is not finite")
+		}
+	}
+}
+
 func TestPerturbedStaysFunctional(t *testing.T) {
 	rng := rand.New(rand.NewSource(99))
 	board := geom.NewPlane(geom.V(0, 0, 1.5), geom.V(0, 0, -1))

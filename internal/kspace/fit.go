@@ -37,7 +37,8 @@ func Fit(samples []Sample, board geom.Plane, initial gma.Params) (gma.Params, op
 	residuals := func(x []float64, out []float64) {
 		p, err := gma.FromVector(x)
 		if err != nil {
-			panic(err) // impossible: vector length fixed below
+			//cyclops:panic-ok impossible: the optimizer preserves the vector length fixed below
+			panic(err)
 		}
 		for i, s := range samples {
 			hit, err := p.BoardHit(s.V1, s.V2, board)
@@ -166,6 +167,7 @@ func Calibrate(r *Rig, initial gma.Params) (gma.Params, Evaluation, error) {
 		for i := range v {
 			v[i] += (r.rng.Float64()*2 - 1) * 0.008 * (1 + abs64(v[i]))
 		}
+		//cyclops:discard-ok FromVector only fails on length, and v came from Vector() so the length is right by construction
 		guess, _ = gma.FromVector(v)
 	}
 	if !haveBest {

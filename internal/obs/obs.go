@@ -195,22 +195,45 @@ func (r *Registry) setHelp(name, help string) {
 	}
 }
 
+// otherKind returns the instrument kind already holding name when it is
+// not the wanted kind, or "" when the name is free (or already the right
+// kind). Call with r.mu held.
+func (r *Registry) otherKind(name, want string) string {
+	if _, ok := r.counters[name]; ok && want != "counter" {
+		return "counter"
+	}
+	if _, ok := r.gauges[name]; ok && want != "gauge" {
+		return "gauge"
+	}
+	if _, ok := r.hists[name]; ok && want != "histogram" {
+		return "histogram"
+	}
+	return ""
+}
+
+// mustRegister validates a registration under r.mu. Registration happens
+// at construction time with literal names (cyclops-vet's metrics rule
+// enforces that), so a bad name or a kind clash is a programmer error:
+// failing fast beats silently corrupting every later exposition.
+func (r *Registry) mustRegister(name, kind string) {
+	if !validName(name) {
+		//cyclops:panic-ok registration-time contract violation with a literal name is a programmer error
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	if other := r.otherKind(name, kind); other != "" {
+		//cyclops:panic-ok kind clash at registration is a programmer error, not a runtime condition
+		panic(fmt.Sprintf("obs: %q already registered as a %s", name, other))
+	}
+}
+
 // Counter returns the named counter, creating it on first use.
 func (r *Registry) Counter(name, help string) *Counter {
 	if r == nil {
 		return nil
 	}
-	if !validName(name) {
-		panic(fmt.Sprintf("obs: invalid metric name %q", name))
-	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if _, clash := r.gauges[name]; clash {
-		panic(fmt.Sprintf("obs: %q already registered as a gauge", name))
-	}
-	if _, clash := r.hists[name]; clash {
-		panic(fmt.Sprintf("obs: %q already registered as a histogram", name))
-	}
+	r.mustRegister(name, "counter")
 	c := r.counters[name]
 	if c == nil {
 		c = &Counter{}
@@ -225,17 +248,9 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	if r == nil {
 		return nil
 	}
-	if !validName(name) {
-		panic(fmt.Sprintf("obs: invalid metric name %q", name))
-	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if _, clash := r.counters[name]; clash {
-		panic(fmt.Sprintf("obs: %q already registered as a counter", name))
-	}
-	if _, clash := r.hists[name]; clash {
-		panic(fmt.Sprintf("obs: %q already registered as a histogram", name))
-	}
+	r.mustRegister(name, "gauge")
 	g := r.gauges[name]
 	if g == nil {
 		g = &Gauge{}
@@ -252,22 +267,15 @@ func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 	if r == nil {
 		return nil
 	}
-	if !validName(name) {
-		panic(fmt.Sprintf("obs: invalid metric name %q", name))
-	}
 	for i := 1; i < len(bounds); i++ {
 		if !(bounds[i] > bounds[i-1]) {
+			//cyclops:panic-ok bounds are compile-time literals; a bad table is a programmer error
 			panic(fmt.Sprintf("obs: histogram %q bounds not strictly increasing", name))
 		}
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if _, clash := r.counters[name]; clash {
-		panic(fmt.Sprintf("obs: %q already registered as a counter", name))
-	}
-	if _, clash := r.gauges[name]; clash {
-		panic(fmt.Sprintf("obs: %q already registered as a gauge", name))
-	}
+	r.mustRegister(name, "histogram")
 	h := r.hists[name]
 	if h == nil {
 		h = &Histogram{
@@ -276,6 +284,7 @@ func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 		}
 		r.hists[name] = h
 	} else if !sameBounds(h.bounds, bounds) {
+		//cyclops:panic-ok fixed buckets are the merge-exactness invariant; re-registration with new bounds is a programmer error
 		panic(fmt.Sprintf("obs: histogram %q re-registered with different bounds", name))
 	}
 	r.setHelp(name, help)
@@ -322,22 +331,23 @@ func (r *Registry) Snapshot() Snapshot {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	s := Snapshot{}
-	for name, c := range r.counters {
+	for _, name := range sortedKeys(r.counters) {
 		if s.Counters == nil {
 			s.Counters = map[string]float64{}
 		}
-		s.Counters[name] = c.Value()
+		s.Counters[name] = r.counters[name].Value()
 	}
-	for name, g := range r.gauges {
+	for _, name := range sortedKeys(r.gauges) {
 		if s.Gauges == nil {
 			s.Gauges = map[string]float64{}
 		}
-		s.Gauges[name] = g.Value()
+		s.Gauges[name] = r.gauges[name].Value()
 	}
-	for name, h := range r.hists {
+	for _, name := range sortedKeys(r.hists) {
 		if s.Histograms == nil {
 			s.Histograms = map[string]HistogramSnapshot{}
 		}
+		h := r.hists[name]
 		h.mu.Lock()
 		s.Histograms[name] = HistogramSnapshot{
 			Bounds: append([]float64(nil), h.bounds...),
@@ -347,11 +357,11 @@ func (r *Registry) Snapshot() Snapshot {
 		}
 		h.mu.Unlock()
 	}
-	for name, help := range r.help {
+	for _, name := range sortedKeys(r.help) {
 		if s.Help == nil {
 			s.Help = map[string]string{}
 		}
-		s.Help[name] = help
+		s.Help[name] = r.help[name]
 	}
 	return s
 }
@@ -392,23 +402,24 @@ func (r *Registry) Exposition() string { return r.Snapshot().Exposition() }
 func (s Snapshot) Merge(o Snapshot) Snapshot {
 	out := Snapshot{}
 	for _, src := range []map[string]float64{s.Counters, o.Counters} {
-		for name, v := range src {
+		for _, name := range sortedKeys(src) {
 			if out.Counters == nil {
 				out.Counters = map[string]float64{}
 			}
-			out.Counters[name] += v
+			out.Counters[name] += src[name]
 		}
 	}
 	for _, src := range []map[string]float64{s.Gauges, o.Gauges} {
-		for name, v := range src {
+		for _, name := range sortedKeys(src) {
 			if out.Gauges == nil {
 				out.Gauges = map[string]float64{}
 			}
-			out.Gauges[name] += v
+			out.Gauges[name] += src[name]
 		}
 	}
 	for _, src := range []map[string]HistogramSnapshot{s.Histograms, o.Histograms} {
-		for name, hs := range src {
+		for _, name := range sortedKeys(src) {
+			hs := src[name]
 			if out.Histograms == nil {
 				out.Histograms = map[string]HistogramSnapshot{}
 			}
@@ -423,6 +434,7 @@ func (s Snapshot) Merge(o Snapshot) Snapshot {
 				continue
 			}
 			if !sameBounds(have.Bounds, hs.Bounds) {
+				//cyclops:panic-ok bounds mismatch across merged snapshots is an instrumentation bug, not a runtime condition
 				panic(fmt.Sprintf("obs: merge of histogram %q with different bounds", name))
 			}
 			for i, c := range hs.Counts {
@@ -434,7 +446,8 @@ func (s Snapshot) Merge(o Snapshot) Snapshot {
 		}
 	}
 	for _, src := range []map[string]string{o.Help, s.Help} {
-		for name, help := range src {
+		for _, name := range sortedKeys(src) {
+			help := src[name]
 			if help == "" {
 				continue
 			}
@@ -462,23 +475,24 @@ func MergeAll(snaps []Snapshot) Snapshot {
 // one run contributed to a shared registry.
 func (s Snapshot) Diff(prev Snapshot) Snapshot {
 	out := Snapshot{}
-	for name, v := range s.Counters {
+	for _, name := range sortedKeys(s.Counters) {
 		if out.Counters == nil {
 			out.Counters = map[string]float64{}
 		}
-		d := v - prev.Counters[name]
+		d := s.Counters[name] - prev.Counters[name]
 		if d < 0 {
 			d = 0
 		}
 		out.Counters[name] = d
 	}
-	for name, v := range s.Gauges {
+	for _, name := range sortedKeys(s.Gauges) {
 		if out.Gauges == nil {
 			out.Gauges = map[string]float64{}
 		}
-		out.Gauges[name] = v
+		out.Gauges[name] = s.Gauges[name]
 	}
-	for name, hs := range s.Histograms {
+	for _, name := range sortedKeys(s.Histograms) {
+		hs := s.Histograms[name]
 		if out.Histograms == nil {
 			out.Histograms = map[string]HistogramSnapshot{}
 		}
@@ -505,11 +519,11 @@ func (s Snapshot) Diff(prev Snapshot) Snapshot {
 		}
 		out.Histograms[name] = d
 	}
-	for name, help := range s.Help {
+	for _, name := range sortedKeys(s.Help) {
 		if out.Help == nil {
 			out.Help = map[string]string{}
 		}
-		out.Help[name] = help
+		out.Help[name] = s.Help[name]
 	}
 	return out
 }
@@ -521,15 +535,15 @@ func (s Snapshot) Exposition() string {
 	var b strings.Builder
 	names := make([]string, 0, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
 	kind := map[string]string{}
-	for name := range s.Counters {
+	for _, name := range sortedKeys(s.Counters) {
 		names = append(names, name)
 		kind[name] = "counter"
 	}
-	for name := range s.Gauges {
+	for _, name := range sortedKeys(s.Gauges) {
 		names = append(names, name)
 		kind[name] = "gauge"
 	}
-	for name := range s.Histograms {
+	for _, name := range sortedKeys(s.Histograms) {
 		names = append(names, name)
 		kind[name] = "histogram"
 	}
@@ -566,8 +580,12 @@ func fmtFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
+// sortedKeys is the one sanctioned map iteration in this package: every
+// walk over a metrics map goes through it so iteration order is erased
+// before it can reach a merge, diff, or exposition.
 func sortedKeys[V any](m map[string]V) []string {
 	keys := make([]string, 0, len(m))
+	//cyclops:deterministic-ok iteration order is erased by the sort below
 	for k := range m {
 		keys = append(keys, k)
 	}

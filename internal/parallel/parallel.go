@@ -88,6 +88,7 @@ func Map[T any](n, workers int, fn func(i int) T) []T {
 	if err != nil {
 		// Unreachable: the wrapped fn never returns an error and panics
 		// are re-raised inside MapErr.
+		//cyclops:panic-ok unreachable: the wrapped fn never errors and worker panics re-raise inside MapErr
 		panic(err)
 	}
 	return out
@@ -230,6 +231,7 @@ func MapCtx[T any](ctx context.Context, n, workers int, fn func(ctx context.Cont
 	wg.Wait()
 
 	if firstPanic != nil {
+		//cyclops:panic-ok re-raises the first worker panic on the caller's goroutine, preserving panic semantics across the fan-out
 		panic(firstPanic)
 	}
 	if firstErr != nil {

@@ -94,6 +94,8 @@ func GPrime(model gma.Params, tau geom.Vec3, v1, v2 float64, opts GPrimeOptions)
 // perpendicular to the current beam; express the miss vector in the basis
 // of the two per-ε beam displacements; and take the implied linear step.
 // The successful path performs zero heap allocations.
+//
+//cyclops:hotpath zero-alloc contract pinned by TestGPrimeCompiledZeroAllocs and make alloc-check
 func GPrimeCompiled(model *gma.Compiled, tau geom.Vec3, v1, v2 float64, opts GPrimeOptions) (float64, float64, int, error) {
 	rv1, rv2, iters, _, err := gprime(model, tau, v1, v2, opts)
 	return rv1, rv2, iters, err

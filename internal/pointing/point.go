@@ -120,6 +120,8 @@ func Point(gt, gr gma.Params, start Voltages, opts PointOptions) (Result, error)
 // It runs the §4.3 fixed-point loop over Lemma 1's coincidence condition:
 // each terminal's beam origin is the other terminal's target, solved with
 // G′, until the voltages stop moving.
+//
+//cyclops:hotpath zero-alloc contract pinned by TestPointCompiledZeroAllocs and make alloc-check
 func PointCompiled(gt, gr *gma.Compiled, start Voltages, opts PointOptions) (Result, error) {
 	opts.defaults()
 	res, err := point(gt, gr, start, opts)

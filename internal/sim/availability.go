@@ -218,19 +218,28 @@ func SimulateTrace(tr trace.Trace, p AvailabilityParams) TraceResult {
 // hot loop's cost is untouched.
 func SimulateTraceObs(tr trace.Trace, p AvailabilityParams, reg *obs.Registry) TraceResult {
 	res := SimulateTrace(tr, p)
-	if reg != nil {
-		reg.Counter("cyclops_sim_traces_total",
-			"Head-motion traces run through the 5.4 slot model.").Inc()
-		reg.Counter("cyclops_sim_slots_total",
-			"1 ms availability slots simulated.").Add(float64(res.Slots))
-		reg.Counter("cyclops_sim_off_slots_total",
-			"Slots with the link disconnected.").Add(float64(res.OffSlots))
-		reg.Histogram("cyclops_sim_trace_off_fraction",
-			"Per-trace disconnected fraction (the Fig 16 CDF's underlying distribution).",
-			[]float64{0, 0.0005, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1}).
-			Observe(1 - res.OnFraction)
-	}
+	recordTrace(reg, res.Slots, res.OffSlots, res.OnFraction)
 	return res
+}
+
+// recordTrace is the single registering call site for the per-trace sim
+// metrics — both the clean (SimulateTraceObs) and chaos
+// (SimulateTraceChaos) paths feed the same series, so a corpus mixing the
+// two still merges into one exposition.
+func recordTrace(reg *obs.Registry, slots, offSlots int, onFraction float64) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("cyclops_sim_traces_total",
+		"Head-motion traces run through the 5.4 slot model.").Inc()
+	reg.Counter("cyclops_sim_slots_total",
+		"1 ms availability slots simulated.").Add(float64(slots))
+	reg.Counter("cyclops_sim_off_slots_total",
+		"Slots with the link disconnected.").Add(float64(offSlots))
+	reg.Histogram("cyclops_sim_trace_off_fraction",
+		"Per-trace disconnected fraction (the Fig 16 CDF's underlying distribution).",
+		[]float64{0, 0.0005, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1}).
+		Observe(1 - onFraction)
 }
 
 // CorpusResult aggregates a full dataset run — the data behind Fig 16.

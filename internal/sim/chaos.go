@@ -179,18 +179,7 @@ func SimulateTraceChaos(tr trace.Trace, p ChaosParams, sched *fault.Schedule, re
 	if res.Slots > 0 {
 		res.OnFraction = 1 - float64(res.OffSlots)/float64(res.Slots)
 	}
-	if reg != nil {
-		reg.Counter("cyclops_sim_traces_total",
-			"Head-motion traces run through the 5.4 slot model.").Inc()
-		reg.Counter("cyclops_sim_slots_total",
-			"1 ms availability slots simulated.").Add(float64(res.Slots))
-		reg.Counter("cyclops_sim_off_slots_total",
-			"Slots with the link disconnected.").Add(float64(res.OffSlots))
-		reg.Histogram("cyclops_sim_trace_off_fraction",
-			"Per-trace disconnected fraction (the Fig 16 CDF's underlying distribution).",
-			[]float64{0, 0.0005, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1}).
-			Observe(1 - res.OnFraction)
-	}
+	recordTrace(reg, res.Slots, res.OffSlots, res.OnFraction)
 	return res
 }
 

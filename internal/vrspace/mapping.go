@@ -102,6 +102,7 @@ func FitMapping(kTX, kRX gma.Params, tuples []Tuple, init Mapping) (Mapping, opt
 	residuals := func(x []float64, out []float64) {
 		m, err := MappingFromVector(x)
 		if err != nil {
+			//cyclops:panic-ok impossible: the optimizer preserves the 12-parameter vector length
 			panic(err)
 		}
 		// One TX compilation per candidate mapping covers every tuple;

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race lint lint-smoke verify bench bench-hotpath alloc-check metrics-smoke chaos-smoke clean
+.PHONY: all build vet test race lint lint-smoke verify bench bench-hotpath alloc-check metrics-smoke chaos-smoke handover-smoke clean
 
 all: verify
 
@@ -14,7 +14,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 
 # Static gate: gofmt-clean, go vet-clean, and zero unsuppressed
 # cyclops-vet findings (the repo's own invariant linter — determinism,
@@ -43,10 +43,11 @@ verify:
 	$(GO) build ./...
 	$(MAKE) lint
 	$(MAKE) lint-smoke
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 	$(MAKE) alloc-check
 	$(MAKE) metrics-smoke
 	$(MAKE) chaos-smoke
+	$(MAKE) handover-smoke
 
 # Allocation-regression gate for the compiled hot path: the zero-alloc
 # contracts on Compiled.Beam, G', and P are pinned by AllocsPerRun tests;
@@ -85,6 +86,21 @@ chaos-smoke:
 	grep -q '^cyclops_supervisor_degraded_seconds ' .chaos_smoke.prom
 	rm -f .chaos_smoke.prom
 	@echo "chaos-smoke: ok"
+
+# End-to-end handover check: the chaos-smoke scenario re-run with a second
+# ceiling TX must be strictly better than its single-TX twin — the same
+# fault seed that chaos-smoke pins to at least one outage produces zero
+# here, with every blocking episode rescued by a make-before-break switch
+# (≥1 handover recorded, dark-time histogram populated, HANDOVER
+# supervisor state exposed).
+handover-smoke:
+	$(GO) run ./cmd/cyclops-sim -oracle -motion handheld -duration 12s -chaos -chaos-seed 5 -tx 2 -metrics .handover_smoke.prom
+	grep -q '^cyclops_handover_total [1-9]' .handover_smoke.prom
+	grep -q '^cyclops_outage_total 0$$' .handover_smoke.prom
+	grep -q '^cyclops_handover_seconds_count [1-9]' .handover_smoke.prom
+	grep -q '^cyclops_supervisor_handover_seconds ' .handover_smoke.prom
+	rm -f .handover_smoke.prom
+	@echo "handover-smoke: ok"
 
 # Serial vs parallel wall time for the Fig 16 500-trace corpus, recorded
 # into BENCH_parallel.json. The two benchmarks produce bit-identical
@@ -140,5 +156,5 @@ bench-hotpath:
 	cat BENCH_hotpath.json
 
 clean:
-	rm -f BENCH_parallel.json BENCH_hotpath.json .bench_parallel.txt .bench_hotpath.txt .metrics_smoke.prom .chaos_smoke.prom
+	rm -f BENCH_parallel.json BENCH_hotpath.json .bench_parallel.txt .bench_hotpath.txt .metrics_smoke.prom .chaos_smoke.prom .handover_smoke.prom
 	$(GO) clean ./...

@@ -9,6 +9,7 @@
 //	cyclops-sim -motion trace -seed 4
 //	cyclops-sim -motion handheld -metrics run.prom
 //	cyclops-sim -motion handheld -chaos -chaos-seed 7   # fault injection
+//	cyclops-sim -motion handheld -chaos -tx 2      # multi-TX handover
 //	cyclops-sim -experiment convergence            # registry dispatch
 //
 // -experiment bypasses the interactive run and executes a named entry of
@@ -18,6 +19,12 @@
 // outages, reacquisitions, and degraded time, and the metrics exposition
 // gains cyclops_outage_total, cyclops_reacquire_seconds, and the
 // supervisor time-in-state gauges.
+// -tx N (N > 1, with -chaos) adds N−1 standby ceiling TXs on a ring of
+// -handover-spacing meters and arms make-before-break handover: occlusions
+// of the primary path switch to a pre-pointed standby inside the SFP's LOS
+// holdover instead of unlocking the link. -handover is shorthand for
+// -tx 2. The summary gains a handover count and the exposition gains
+// cyclops_handover_total / cyclops_handover_seconds.
 // -metrics writes the run's Prometheus text exposition to a file on exit;
 // the exposition includes cyclops_pointing_beam_evals_total, the forward
 // GMA-model evaluation budget the realignment loop consumed.
@@ -46,7 +53,13 @@ func main() {
 	metricsFile := flag.String("metrics", "", "write Prometheus text exposition of the run's metrics to this file on exit")
 	chaos := flag.Bool("chaos", false, "inject a seeded fault schedule (occlusions, tracker dropouts, galvo faults) and arm the recovery supervisor")
 	chaosSeed := flag.Int64("chaos-seed", 1, "seed for the -chaos fault schedule (independent of -seed)")
+	txCount := flag.Int("tx", 1, "total ceiling TX count; > 1 arms make-before-break handover (requires -chaos)")
+	txSpacing := flag.Float64("handover-spacing", 1.4, "ceiling ring spacing in meters for the standby TXs of -tx")
+	handoverFlag := flag.Bool("handover", false, "shorthand for -tx 2")
 	flag.Parse()
+	if *handoverFlag && *txCount < 2 {
+		*txCount = 2
+	}
 
 	writeMetrics := func() {
 		if *metricsFile == "" {
@@ -141,6 +154,22 @@ func main() {
 		opts.Faults = &sched
 		fmt.Printf("chaos: injecting %d fault windows (seed %d)\n", len(sched.Windows), *chaosSeed)
 	}
+	if *txCount > 1 {
+		if !*chaos {
+			fmt.Fprintln(os.Stderr, "cyclops-sim: -tx > 1 needs -chaos (handover only matters under faults)")
+			os.Exit(2)
+		}
+		standbys := cyclops.StandbyRing(cfg, *seed, *txCount-1, *txSpacing)
+		// Each standby path gets its own independent occlusion draw,
+		// seeded off the chaos seed so the whole run stays reproducible.
+		scheds := make([]*cyclops.FaultSchedule, len(standbys))
+		for i := range standbys {
+			s := cyclops.PlanFaults(cyclops.DefaultFaultConfig(), *chaosSeed+int64(i+1)*101, effDur)
+			scheds[i] = &s
+		}
+		opts.Handover = &cyclops.HandoverOptions{Standbys: standbys, StandbyFaults: scheds}
+		fmt.Printf("handover: %d TXs on a %.1f m ring, make-before-break armed\n", *txCount, *txSpacing)
+	}
 	res, err := sys.Run(opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cyclops-sim: run: %v\n", err)
@@ -181,6 +210,9 @@ func main() {
 		}
 		fmt.Printf("  outages             %d (%d reacquired), %d degraded ticks, %d degraded samples\n",
 			res.Outages, res.Reacquired, res.DegradedTicks, degraded)
+		if *txCount > 1 {
+			fmt.Printf("  handovers           %d\n", res.Handovers)
+		}
 	}
 	writeMetrics()
 }

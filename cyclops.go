@@ -32,6 +32,7 @@ import (
 	"cyclops/internal/core"
 	"cyclops/internal/fault"
 	"cyclops/internal/geom"
+	"cyclops/internal/handover"
 	"cyclops/internal/link"
 	"cyclops/internal/motion"
 	"cyclops/internal/netem"
@@ -206,6 +207,25 @@ func PlanFaults(cfg FaultConfig, seed int64, dur time.Duration) FaultSchedule {
 // DefaultFaultConfig is a moderately hostile chaos mix (occlusions,
 // tracker dropouts, galvo faults, solver divergence).
 func DefaultFaultConfig() FaultConfig { return fault.DefaultConfig() }
+
+// HandoverOptions arms make-before-break multi-TX handover on a run:
+// standby ceiling TXs are kept pre-pointed, and when the primary path
+// occludes the supervisor swaps one in within the SFP's LOS holdover —
+// ~2 ms of dark instead of the 3 s re-lock. Requires RunOptions.Faults;
+// see DESIGN.md "Multi-TX handover as recovery".
+type HandoverOptions = core.HandoverOptions
+
+// TXPlant is one ceiling transmitter's physical surface (the primary's is
+// owned by System; standbys come from StandbyRing).
+type TXPlant = link.Plant
+
+// StandbyRing builds count standby TX plants for cfg, placed on a ceiling
+// ring of the given spacing (meters) around the primary, sharing the
+// receiver identity derived from rxSeed (pass the System's seed). Hand
+// the result to HandoverOptions.Standbys.
+func StandbyRing(cfg LinkConfig, rxSeed int64, count int, spacing float64) []*TXPlant {
+	return handover.StandbysFor(cfg, rxSeed, handover.RingPositions(count, spacing))
+}
 
 // ChaosParams extend the §5.4 slot model with occlusion blocking and
 // re-lock constants.

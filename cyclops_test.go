@@ -94,6 +94,47 @@ func TestFig16Runner(t *testing.T) {
 	}
 }
 
+// The handover acceptance bar: at the harsh occlusion corner (2/min ×
+// 500 ms) a second ceiling TX at 1.4 m spacing pulls occlusion-layer
+// availability back above 99%; the single-TX corpus sits near 89%. Runs
+// the harsh slice of the fig16-handover grid through the real pipeline.
+func TestFig16HandoverRunner(t *testing.T) {
+	if testing.Short() {
+		t.Skip("500-trace corpus in -short mode")
+	}
+	grid := fig16HandoverGrid{
+		txCounts: []int{1, 2},
+		spacings: []float64{1.4},
+		occl: []struct {
+			rate float64
+			dur  time.Duration
+		}{{2, 500 * time.Millisecond}},
+	}
+	r, err := fig16HandoverRun(3, 0, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Cells) != 2 {
+		t.Fatalf("cells = %d, want 2", len(r.Cells))
+	}
+	single, dual := r.Cells[0], r.Cells[1]
+	if single.Handovers != 0 || single.ChaosAvailability >= 0.99 {
+		t.Errorf("single-TX cell implausible: %+v", single)
+	}
+	if dual.ChaosAvailability < 0.99 {
+		t.Errorf("2-TX chaos availability %.4f, want ≥ 0.99", dual.ChaosAvailability)
+	}
+	if dual.ChaosAvailability <= single.ChaosAvailability {
+		t.Error("handover did not improve availability")
+	}
+	if dual.Handovers == 0 || dual.Outages >= single.Outages {
+		t.Errorf("rescues not visible: %+v vs %+v", dual, single)
+	}
+	if !strings.Contains(r.Render(), "cost curve") {
+		t.Error("render missing the cost curve")
+	}
+}
+
 func TestTable2Runner(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full calibration in -short mode")

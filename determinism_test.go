@@ -10,6 +10,7 @@ package cyclops
 import (
 	"reflect"
 	"testing"
+	"time"
 
 	"cyclops/internal/parallel"
 )
@@ -23,6 +24,45 @@ func TestFig16WorkerDeterminism(t *testing.T) {
 		got := Fig16Workers(3, workers)
 		if !reflect.DeepEqual(got, serial) {
 			t.Errorf("workers=%d: Fig16Result differs from serial run", workers)
+		}
+	}
+}
+
+// TestFig16HandoverWorkerDeterminism pins the handover sweep to the same
+// contract: the per-episode rescue draws are seeded per trace, so the
+// rescue/outage split — and with it every availability figure — must be
+// bit-identical at any worker count. A trimmed grid (the harsh occlusion
+// corner, 1 and 2 TXs) keeps the race-detector run affordable while
+// exercising the identical pipeline as the full sweep.
+func TestFig16HandoverWorkerDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("500-trace corpus ×3 in -short mode")
+	}
+	grid := fig16HandoverGrid{
+		txCounts: []int{1, 2},
+		spacings: []float64{1.4},
+		occl: []struct {
+			rate float64
+			dur  time.Duration
+		}{{2, 500 * time.Millisecond}},
+	}
+	serial, err := fig16HandoverRun(3, 1, grid)
+	if err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	if len(serial.Cells) != 2 {
+		t.Fatalf("cells = %d, want 2", len(serial.Cells))
+	}
+	if serial.Cells[1].Handovers == 0 {
+		t.Fatal("2-TX cell fired no handovers — test is vacuous")
+	}
+	for _, workers := range []int{2, 4} {
+		got, err := fig16HandoverRun(3, workers, grid)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, serial) {
+			t.Errorf("workers=%d: Fig16HandoverResult differs from serial run", workers)
 		}
 	}
 }

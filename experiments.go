@@ -699,6 +699,168 @@ func (r Fig16FaultsResult) Render() string {
 	return b.String()
 }
 
+// ------------------------------------------------------ fig16-handover —
+
+// Fig16HandoverCell is one point of the handover sweep: the 500-trace
+// corpus under an occlusion rate × duration, served by TXCount ceiling
+// units at the given ring spacing. TXCount == 1 is the no-handover
+// baseline (SpacingM is 0 there: a single TX has no ring).
+type Fig16HandoverCell struct {
+	TXCount         int
+	SpacingM        float64
+	OcclusionPerMin float64
+	OcclusionDur    time.Duration
+	MeanOnFraction  float64
+	MinOnFraction   float64
+	// ChaosAvailability is 1 − blocked/total slots: the share of slot time
+	// not lost to occlusion episodes — re-lock tails for unrescued ones,
+	// the ~2 ms handover slew for rescued ones. This is the occlusion
+	// layer's own availability, independent of baseline pointing losses.
+	ChaosAvailability float64
+	Outages           int
+	Handovers         int
+}
+
+// Fig16HandoverResult is the fig16-handover experiment: the fig16-faults
+// chaos study re-run with make-before-break multi-TX handover, sweeping
+// TX count and ceiling spacing against occlusion pressure.
+type Fig16HandoverResult struct {
+	BaselineOnFraction float64
+	Cells              []Fig16HandoverCell
+}
+
+// fig16HandoverGrid parameterizes the sweep so the determinism suite can
+// push a trimmed grid through the identical pipeline.
+type fig16HandoverGrid struct {
+	txCounts []int
+	spacings []float64
+	occl     []struct {
+		rate float64
+		dur  time.Duration
+	}
+}
+
+// fig16HandoverSweep: a mild and a harsh occlusion regime (the corners of
+// the fig16-faults grid) × 1/2/4 TXs × tight and wide ceiling rings.
+var fig16HandoverSweep = fig16HandoverGrid{
+	txCounts: []int{1, 2, 4},
+	spacings: []float64{0.6, 1.4},
+	occl: []struct {
+		rate float64
+		dur  time.Duration
+	}{
+		{0.5, 100 * time.Millisecond},
+		{2, 500 * time.Millisecond},
+	},
+}
+
+// Fig16Handover runs the handover sweep with the default worker pool.
+func Fig16Handover(seed int64) (Fig16HandoverResult, error) {
+	return Fig16HandoverWorkers(seed, 0)
+}
+
+// Fig16HandoverWorkers is Fig16Handover with an explicit worker count.
+// Like fig16-faults, the whole sweep is a pure function of the seed —
+// every worker count returns the identical result bit for bit. Every cell
+// reuses the same fault plans (same seed), so the TX-count and spacing
+// knobs are the only thing that varies across cells of one occlusion
+// regime.
+func Fig16HandoverWorkers(seed int64, workers int) (Fig16HandoverResult, error) {
+	return fig16HandoverRun(seed, workers, fig16HandoverSweep)
+}
+
+func fig16HandoverRun(seed int64, workers int, grid fig16HandoverGrid) (Fig16HandoverResult, error) {
+	traces := trace.DatasetWorkers(seed, link.DefaultHeadsetPose().Trans, workers)
+	base := sim.SimulateCorpusWorkers(traces, sim.Paper25G(), workers)
+	res := Fig16HandoverResult{BaselineOnFraction: base.MeanOnFraction}
+	for _, oc := range grid.occl {
+		cfg := fault.Config{
+			Occlusion:        fault.ClassConfig{PerMin: oc.rate, MinDur: oc.dur, MaxDur: oc.dur},
+			OcclusionDepthDB: [2]float64{25, 45},
+			OcclusionRamp:    10 * time.Millisecond,
+			Blackout:         fault.ClassConfig{PerMin: 1, MinDur: 50 * time.Millisecond, MaxDur: 150 * time.Millisecond},
+			Stuck:            fault.ClassConfig{PerMin: 0.5, MinDur: 100 * time.Millisecond, MaxDur: 300 * time.Millisecond},
+		}
+		for _, tx := range grid.txCounts {
+			for si, spacing := range grid.spacings {
+				if tx <= 1 && si > 0 {
+					break // a single TX has no ring: one baseline cell per regime
+				}
+				p := sim.PaperChaos25G()
+				p.TXCount = tx
+				p.HandoverDark = 2 * time.Millisecond
+				p.StandbyBlockProb = sim.StandbyBlockProbForSpacing(spacing)
+				c, err := sim.SimulateChaosCorpus(context.Background(), traces, p, cfg, seed+1, workers)
+				if err != nil {
+					return res, err
+				}
+				cell := Fig16HandoverCell{
+					TXCount:         tx,
+					SpacingM:        spacing,
+					OcclusionPerMin: oc.rate,
+					OcclusionDur:    oc.dur,
+					MeanOnFraction:  c.MeanOnFraction,
+					MinOnFraction:   c.MinOnFraction,
+					Outages:         c.Outages,
+					Handovers:       c.Handovers,
+				}
+				if tx <= 1 {
+					cell.SpacingM = 0
+				}
+				var slots, blocked int
+				for _, r := range c.PerTrace {
+					slots += r.Slots
+					blocked += r.BlockedSlots
+				}
+				if slots > 0 {
+					cell.ChaosAvailability = 1 - float64(blocked)/float64(slots)
+				}
+				res.Cells = append(res.Cells, cell)
+			}
+		}
+	}
+	return res, nil
+}
+
+// Render prints the handover sweep and the TXs-per-headset cost curve.
+func (r Fig16HandoverResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig 16-handover: multi-TX make-before-break vs occlusion (25G constants, 500 traces)\n")
+	fmt.Fprintf(&b, "  baseline (no faults): mean on %.2f%%\n", r.BaselineOnFraction*100)
+	b.WriteString("  txs  spacing  occl rate  duration   mean on   worst   chaos avail  outages  handovers\n")
+	for _, c := range r.Cells {
+		spacing := "    —"
+		if c.TXCount > 1 {
+			spacing = fmt.Sprintf("%4.1fm", c.SpacingM)
+		}
+		fmt.Fprintf(&b, "  %3d  %s  %7.1f/min  %6s   %6.2f%%  %6.2f%%     %7.3f%%  %7d  %9d\n",
+			c.TXCount, spacing, c.OcclusionPerMin, c.OcclusionDur,
+			c.MeanOnFraction*100, c.MinOnFraction*100, c.ChaosAvailability*100,
+			c.Outages, c.Handovers)
+	}
+	// Cost curve: TXs per headset vs nines of occlusion-layer availability,
+	// at the harsh corner (2/min × 500 ms), wide spacing for multi-TX.
+	var harsh []Fig16HandoverCell
+	for _, c := range r.Cells {
+		if c.OcclusionPerMin == 2 && c.OcclusionDur == 500*time.Millisecond &&
+			(c.TXCount <= 1 || c.SpacingM == 1.4) {
+			harsh = append(harsh, c)
+		}
+	}
+	if len(harsh) > 0 {
+		b.WriteString("  cost curve (2.0/min × 500ms, 1.4 m ring):\n")
+		b.WriteString("    txs  chaos avail      nines\n")
+		for _, c := range harsh {
+			nines := math.Inf(1)
+			if c.ChaosAvailability < 1 {
+				nines = -math.Log10(1 - c.ChaosAvailability)
+			}
+			fmt.Fprintf(&b, "    %3d     %8.4f%%  %9.2f\n", c.TXCount, c.ChaosAvailability*100, nines)
+		}
+	}
+	return b.String()
+}
+
 // --------------------------------------------------- §4.3 convergence —
 
 // ConvergenceResult records the G′ and P iteration statistics.

@@ -157,6 +157,7 @@ var deterministicPackages = []string{
 	"internal/core",
 	"internal/sim",
 	"internal/fault",
+	"internal/handover",
 	"internal/trace",
 	"internal/parallel",
 	"internal/obs",

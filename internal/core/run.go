@@ -55,6 +55,63 @@ type RunOptions struct {
 	// Recovery tunes the supervisor; the zero value means the documented
 	// defaults. Consulted only when Faults is armed.
 	Recovery RecoveryOptions
+	// Handover, when non-nil, arms make-before-break multi-TX recovery:
+	// standby ceiling transmitters are kept pre-pointed and the run
+	// switches to the best clear one when the active path goes dark,
+	// paying one realignment latency instead of the 3 s SFP re-lock.
+	// Requires an armed fault schedule (handover is a recovery layer —
+	// without faults there is nothing to recover from). Default (nil):
+	// single-TX, bit-identical to the historical run loop.
+	Handover *HandoverOptions
+}
+
+// HandoverOptions configure the multi-TX recovery path. The zero value of
+// every duration/threshold field means "use the documented default".
+type HandoverOptions struct {
+	// Standbys are the standby transmitter plants (handover.StandbysFor
+	// builds them); each shares the primary's RX assembly identity and
+	// hosts its own TX hardware at its own ceiling mount.
+	Standbys []*link.Plant
+	// StandbyFaults gives each standby path its own deterministic fault
+	// schedule (nil entries mean a clear path). Must be empty or match
+	// len(Standbys); the primary path's schedule is RunOptions.Faults.
+	StandbyFaults []*fault.Schedule
+	// SwitchAfter is how long the active path must stay dark before the
+	// controller switches (default 1 ms — one slot of debounce).
+	SwitchAfter time.Duration
+	// FreshEvery is the standby pre-point refresh cadence (default 12 ms,
+	// the tracker's own report cadence).
+	FreshEvery time.Duration
+	// LOSHold is the SFP's LOS-assert window (Monitor.HoldOver): dark
+	// spells shorter than this do not unlock the transceiver, which is
+	// what lets a ~2 ms switch ride through without the re-lock penalty
+	// (default 5 ms).
+	LOSHold time.Duration
+	// FailbackAfter is how long the primary path must stay clear before a
+	// lit run switches back to it (default 500 ms).
+	FailbackAfter time.Duration
+	// BlockAttenDB is the injected attenuation at or above which a path
+	// counts as blocked for candidate selection (default 10 dB, the 25G
+	// budget's full margin — same constant the sim chaos model uses).
+	BlockAttenDB float64
+}
+
+func (o *HandoverOptions) defaults() {
+	if o.SwitchAfter <= 0 {
+		o.SwitchAfter = time.Millisecond
+	}
+	if o.FreshEvery <= 0 {
+		o.FreshEvery = 12 * time.Millisecond
+	}
+	if o.LOSHold <= 0 {
+		o.LOSHold = 5 * time.Millisecond
+	}
+	if o.FailbackAfter <= 0 {
+		o.FailbackAfter = 500 * time.Millisecond
+	}
+	if o.BlockAttenDB <= 0 {
+		o.BlockAttenDB = 10
+	}
 }
 
 // Validate reports whether the options are usable: Program must be set,
@@ -82,6 +139,21 @@ func (o RunOptions) Validate() error {
 				return fmt.Errorf("core: invalid RunOptions: fault window %d malformed (%v-%v)",
 					i, w.Start, w.End)
 			}
+		}
+	}
+	if h := o.Handover; h != nil {
+		if len(h.Standbys) == 0 {
+			return fmt.Errorf("core: invalid RunOptions: Handover armed with no standby TXs")
+		}
+		if o.Faults.Empty() {
+			return fmt.Errorf("core: invalid RunOptions: Handover requires an armed fault schedule")
+		}
+		if n := len(h.StandbyFaults); n != 0 && n != len(h.Standbys) {
+			return fmt.Errorf("core: invalid RunOptions: %d StandbyFaults for %d standbys",
+				n, len(h.Standbys))
+		}
+		if h.SwitchAfter < 0 || h.FreshEvery < 0 || h.LOSHold < 0 || h.FailbackAfter < 0 {
+			return fmt.Errorf("core: invalid RunOptions: negative Handover duration")
 		}
 	}
 	return nil
@@ -135,6 +207,9 @@ type RunResult struct {
 	Outages       int
 	Reacquired    int
 	DegradedTicks int
+	// Handovers counts make-before-break TX switches (failbacks to the
+	// primary included). Always zero without RunOptions.Handover.
+	Handovers int
 	// Metrics is this run's own observability contribution (a diff
 	// against the registry's state when Run started, so shared
 	// registries still yield per-run numbers).
@@ -224,6 +299,31 @@ func (s *System) Run(opts RunOptions) (RunResult, error) {
 		}()
 	}
 
+	// Multi-TX handover: standby plants join the run (sharing the primary's
+	// metrics instance — one registering site per name), the link monitor
+	// gains its LOS-assert holdover, and the supervisor gets the HANDOVER
+	// instruments. This defer runs before the two above, so s.Plant is the
+	// primary again by the time they clean and restore it.
+	var ho *hoState
+	if opts.Handover != nil {
+		ho = newHoState(s, opts.Handover, opts.Faults)
+		mon.HoldOver = ho.opts.LOSHold
+		sup.ArmHandover(reg)
+		primary := s.Plant
+		prevStandbyMetrics := make([]*link.PlantMetrics, len(opts.Handover.Standbys))
+		for i, p := range opts.Handover.Standbys {
+			prevStandbyMetrics[i] = p.Metrics
+			p.Metrics = primary.Metrics
+		}
+		defer func() {
+			for i, p := range opts.Handover.Standbys {
+				p.SetAttenuationDB(0)
+				p.Metrics = prevStandbyMetrics[i]
+			}
+			s.Plant = primary
+		}()
+	}
+
 	// Initial state: align at the program's first pose. Under fault
 	// injection a failed initial solve is an outage to recover from, not
 	// a reason to abort.
@@ -249,6 +349,7 @@ func (s *System) Run(opts RunOptions) (RunResult, error) {
 		popts:       popts,
 		inj:         inj,
 		sup:         sup,
+		ho:          ho,
 		gt:          s.Map.TXModel(s.KTX).Compile(),
 		lastV:       first.V,
 		pendingAt:   -1,
@@ -261,6 +362,12 @@ func (s *System) Run(opts RunOptions) (RunResult, error) {
 	// (away from the periodic growth copies append would do).
 	l.res.Samples = make([]Sample, 0, dur/sampleEvery+1)
 
+	// Closed interval [0, dur] — deliberately one slot more than the
+	// half-open `at < end` convention internal/sim and internal/handover
+	// use: a run's samples must land on both endpoints (the last sample
+	// sits exactly AT dur), and every published RunResult was produced by
+	// this fencepost. Pinned by TestRunClosedLoopConvention — do not
+	// "unify" this to at < dur, it would shift every result by a slot.
 	for at := time.Duration(0); at <= dur; at += tick {
 		l.step(at)
 	}
@@ -270,6 +377,7 @@ func (s *System) Run(opts RunOptions) (RunResult, error) {
 		sup.Finish()
 		res.Outages = sup.Outages()
 		res.Reacquired = sup.Reacquired()
+		res.Handovers = sup.Handovers()
 		// A run that ends mid-outage still honors the contract that every
 		// injected outage is matched by a recovery or an explicit
 		// Degraded terminal sample.
@@ -314,6 +422,7 @@ type runLoop struct {
 	popts  pointing.PointOptions
 	inj    *fault.Schedule
 	sup    *Supervisor
+	ho     *hoState
 	gt     gma.Compiled
 
 	res RunResult
@@ -353,14 +462,25 @@ func (l *runLoop) reportInterval() time.Duration {
 //
 //cyclops:hotpath runs once per simulated millisecond; Samples is pre-sized so the append never grows
 func (l *runLoop) step(at time.Duration) {
-	l.s.Plant.SetHeadset(l.opts.Program.Pose(at))
+	pose := l.opts.Program.Pose(at)
+	l.s.Plant.SetHeadset(pose)
+	if l.ho != nil {
+		l.ho.setOtherHeadsets(l.s.Plant, pose)
+	}
 
 	// Injected fault state for this tick, applied through the
 	// device surfaces (which stay fault-agnostic).
 	var fs fault.State
 	if l.inj != nil {
 		fs = l.inj.At(at)
-		l.s.Plant.SetAttenuationDB(fs.AttenDB)
+		if l.ho != nil {
+			// Every TX path carries its own occlusion schedule; the
+			// tracker/solver/galvo faults stay with the (shared) RX
+			// assembly and whichever TX is active.
+			fs.AttenDB = l.ho.applyAtten(at)
+		} else {
+			l.s.Plant.SetAttenuationDB(fs.AttenDB)
+		}
 		l.s.Plant.TXDev.SetHold(fs.GalvoStuck)
 		l.s.Plant.RXDev.SetHold(fs.GalvoStuck)
 		l.s.Plant.TXDev.SetRangeLimit(fs.GalvoSatLimit)
@@ -423,6 +543,32 @@ func (l *runLoop) step(at time.Duration) {
 			// Backoff: skip this report's solve; the cadence and
 			// the speed window still advance.
 			l.rm.reports.Inc()
+		case l.ho != nil && l.ho.active != 0:
+			// On a standby TX the report re-points by oracle rather
+			// than through the learned model, which was calibrated
+			// against the primary's TX geometry (the same isolation
+			// handover.Run documents: the switching mechanism is
+			// studied apart from learning error). The primary's model
+			// and mapping stay untouched for failback.
+			l.rm.reports.Inc()
+			l.res.Points++
+			v, verr := l.s.Plant.OracleAlignedVoltages()
+			if verr != nil {
+				l.res.PointFailures++
+				if l.sup != nil {
+					l.sup.SolveFailed(at)
+				}
+			} else {
+				lat := hardwareLatency(l.s)
+				l.rm.repoint.Observe(lat.Seconds())
+				l.latencySum += lat
+				l.latencyN++
+				l.pendingV = v
+				l.pendingAt = at + lat
+				if l.sup != nil {
+					l.sup.SolveOK(v)
+				}
+			}
 		default:
 			// The RX model rides on the headset: transformed and
 			// compiled once per report, then shared by every Beam
@@ -486,6 +632,9 @@ func (l *runLoop) step(at time.Duration) {
 	}
 	l.totalTicks++
 	powerOK := power >= l.s.Plant.Config.Transceiver.SensitivityDBm
+	if l.ho != nil {
+		l.hoTick(at, powerOK)
+	}
 	degraded := false
 	if l.sup != nil {
 		l.sup.Observe(at, l.tick, up, powerOK)

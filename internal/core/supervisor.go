@@ -24,6 +24,13 @@ const (
 	// SupDegraded: the outage has outlasted DegradeAfter; the run keeps
 	// going with samples marked Degraded and traffic accounting frozen.
 	SupDegraded
+	// SupHandover: the active TX path went dark and a pre-pointed standby
+	// is being switched in (make-before-break). Resolves to TRACKING the
+	// moment the standby lights the receiver, or falls through to the
+	// ordinary outage machinery (REACQUIRING) if the monitor's holdover
+	// expires first. Appended after SupDegraded so the existing states
+	// keep their numeric values.
+	SupHandover
 
 	numSupStates
 )
@@ -37,6 +44,8 @@ func (s SupState) String() string {
 		return "reacquiring"
 	case SupDegraded:
 		return "degraded"
+	case SupHandover:
+		return "handover"
 	}
 	return fmt.Sprintf("core.SupState(%d)", uint8(s))
 }
@@ -133,8 +142,16 @@ type Supervisor struct {
 	spiralN      int
 	spiralNextAt time.Duration
 
+	hoSince   time.Duration
+	handovers int
+
 	om *fault.OutageMetrics
 	sm *supervisorMetrics
+	hm *fault.HandoverMetrics
+	// hoGauge is the time-in-HANDOVER gauge; like hm it registers only
+	// when ArmHandover runs, so non-handover runs expose byte-identical
+	// metric sets.
+	hoGauge *obs.Gauge
 }
 
 // NewSupervisor builds a supervisor recording into reg (nil reg disables
@@ -177,6 +194,42 @@ func newSupervisorMetrics(reg *obs.Registry) *supervisorMetrics {
 	}
 }
 
+// ArmHandover equips the supervisor with the make-before-break instruments.
+// Deliberately separate from NewSupervisor: a faulted run without standby
+// TXs must not register handover metrics, or its exposition would drift
+// from the pre-handover builds byte for byte.
+func (s *Supervisor) ArmHandover(reg *obs.Registry) {
+	s.hm = fault.NewHandoverMetrics(reg)
+	if reg != nil {
+		s.hoGauge = reg.Gauge("cyclops_supervisor_handover_seconds",
+			"Run time spent in the HANDOVER supervisor state.")
+	}
+}
+
+// BeginHandover records the make-before-break switch: the active path went
+// dark past the debounce and a standby is slewing in. staleness is the age
+// of the standby's pre-point voltages at the moment of the switch.
+func (s *Supervisor) BeginHandover(at, staleness time.Duration) {
+	s.handovers++
+	if s.hm != nil {
+		s.hm.Handovers.Inc()
+		s.hm.Staleness.Set(staleness.Seconds())
+	}
+	// A switch during an established outage (the SFP already unlocked) is
+	// still worth doing — light returns sooner, so the re-lock clock
+	// starts sooner — but the outage machinery keeps the state: the run
+	// is REACQUIRING/DEGRADED until the monitor comes back, and only a
+	// make-before-break switch from a locked link enters HANDOVER.
+	if s.down {
+		return
+	}
+	s.state = SupHandover
+	s.hoSince = at
+}
+
+// Handovers returns how many make-before-break switches were begun.
+func (s *Supervisor) Handovers() int { return s.handovers }
+
 // State returns the current supervisor state.
 func (s *Supervisor) State() SupState { return s.state }
 
@@ -197,6 +250,18 @@ func (s *Supervisor) Reacquired() int { return s.reacquired }
 // DegradeAfter sinks to DEGRADED.
 func (s *Supervisor) Observe(at, tick time.Duration, up, powerOK bool) {
 	s.timeIn[s.state] += tick
+	// HANDOVER resolves on the optical signal, not the SFP state: the
+	// whole point of make-before-break is that the monitor's holdover
+	// carries the lock across the switch. First light from the standby
+	// completes the handover; if instead the holdover expires (up goes
+	// false) while still dark, the switch failed and the ordinary outage
+	// machinery below takes over.
+	if s.state == SupHandover && powerOK {
+		if s.hm != nil {
+			s.hm.Dark.Observe((at - s.hoSince).Seconds())
+		}
+		s.state = SupTracking
+	}
 	switch {
 	case s.down && up:
 		if s.om != nil {
@@ -327,6 +392,9 @@ func (s *Supervisor) Finish() {
 	s.sm.tracking.Set(s.timeIn[SupTracking].Seconds())
 	s.sm.reacquiring.Set(s.timeIn[SupReacquiring].Seconds())
 	s.sm.degraded.Set(s.timeIn[SupDegraded].Seconds())
+	if s.hoGauge != nil {
+		s.hoGauge.Set(s.timeIn[SupHandover].Seconds())
+	}
 }
 
 // TimeIn returns the accumulated time in the given state.

@@ -57,6 +57,94 @@ func TestSupervisorStateTransitions(t *testing.T) {
 	}
 }
 
+// The HANDOVER extension of the transition table: TRACKING → HANDOVER at
+// BeginHandover, HANDOVER → TRACKING on first standby light, HANDOVER →
+// REACQUIRING when the monitor's holdover expires while still dark, and a
+// failed handover degrades like any other outage.
+func TestSupervisorHandoverTransitions(t *testing.T) {
+	cases := []struct {
+		name string
+		step func(s *Supervisor)
+		want SupState
+	}{
+		{"begin enters handover", func(s *Supervisor) {
+			s.Observe(0, tickMs, true, true)
+			s.BeginHandover(tickMs, 5*tickMs)
+		}, SupHandover},
+		{"standby light completes handover", func(s *Supervisor) {
+			s.Observe(0, tickMs, true, true)
+			s.BeginHandover(tickMs, 5*tickMs)
+			s.Observe(2*tickMs, tickMs, true, false) // dark, riding holdover
+			s.Observe(3*tickMs, tickMs, true, true)  // standby lit
+		}, SupTracking},
+		{"holdover expiry falls through to reacquiring", func(s *Supervisor) {
+			s.Observe(0, tickMs, true, true)
+			s.BeginHandover(tickMs, 5*tickMs)
+			s.Observe(2*tickMs, tickMs, false, false) // standby never lit
+		}, SupReacquiring},
+		{"failed handover degrades like any outage", func(s *Supervisor) {
+			s.Observe(0, tickMs, true, true)
+			s.BeginHandover(tickMs, 5*tickMs)
+			for at := 2 * tickMs; at < 700*tickMs; at += tickMs {
+				s.Observe(at, tickMs, false, false)
+			}
+		}, SupDegraded},
+		{"mid-outage switch leaves the outage machinery in charge", func(s *Supervisor) {
+			s.Observe(0, tickMs, false, false) // already REACQUIRING
+			s.BeginHandover(tickMs, 5*tickMs)
+		}, SupReacquiring},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s := NewSupervisor(RecoveryOptions{}, 1, nil)
+			c.step(s)
+			if s.State() != c.want {
+				t.Errorf("state = %v, want %v", s.State(), c.want)
+			}
+			if s.Handovers() != 1 {
+				t.Errorf("handovers = %d, want 1", s.Handovers())
+			}
+		})
+	}
+}
+
+// The handover instruments register only when armed, and record the dark
+// time and staleness of each completed switch.
+func TestSupervisorHandoverMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := NewSupervisor(RecoveryOptions{}, 1, reg)
+	s.ArmHandover(reg)
+	s.Observe(0, tickMs, true, true)
+	s.BeginHandover(tickMs, 6*tickMs)
+	s.Observe(2*tickMs, tickMs, true, false)
+	s.Observe(3*tickMs, tickMs, true, true)
+	s.Finish()
+	exp := reg.Exposition()
+	for _, want := range []string{
+		"cyclops_handover_total 1",
+		"cyclops_handover_seconds_count 1",
+		"cyclops_handover_standby_staleness_seconds 0.006",
+		"cyclops_supervisor_handover_seconds",
+	} {
+		if !contains(exp, want) {
+			t.Errorf("armed exposition missing %q", want)
+		}
+	}
+	if s.TimeIn(SupHandover) == 0 {
+		t.Error("no HANDOVER time accumulated")
+	}
+
+	// Unarmed supervisors must not register the handover names — a faulted
+	// run without standbys exposes the historical metric set byte for byte.
+	reg2 := obs.NewRegistry()
+	s2 := NewSupervisor(RecoveryOptions{}, 1, reg2)
+	s2.Observe(0, tickMs, true, true)
+	s2.Finish()
+	if contains(reg2.Exposition(), "cyclops_handover") {
+		t.Error("unarmed supervisor registered handover metrics")
+	}
+}
+
 func TestSupervisorOutageAccounting(t *testing.T) {
 	reg := obs.NewRegistry()
 	s := NewSupervisor(RecoveryOptions{}, 1, reg)

@@ -342,3 +342,41 @@ func NewOutageMetrics(reg *obs.Registry) *OutageMetrics {
 			ReacquireBuckets),
 	}
 }
+
+// HandoverMetrics is the shared multi-TX handover instrument set. Like
+// OutageMetrics, both consumers — core.Run's supervisor and the sim chaos
+// slot model — record under these names, so they are defined exactly once,
+// here.
+type HandoverMetrics struct {
+	// Handovers counts make-before-break switches to a standby TX.
+	Handovers *obs.Counter
+	// Dark is the dark-time distribution of each handover: last light on
+	// the old path to first light on the new one. The buckets sit far
+	// below ReacquireBuckets — a working handover costs one realignment
+	// latency (~1.8 ms), not a 3 s SFP re-lock.
+	Dark *obs.Histogram
+	// Staleness is the age of the standby pre-point at the moment of the
+	// most recent switch (core.Run only; the slot model has no pre-point
+	// clock and leaves it at zero).
+	Staleness *obs.Gauge
+}
+
+// HandoverDarkBuckets are the cyclops_handover_seconds histogram bounds.
+var HandoverDarkBuckets = []float64{0.001, 0.002, 0.003, 0.005, 0.01, 0.02, 0.05, 0.1}
+
+// NewHandoverMetrics registers the handover instruments in reg (nil reg →
+// nil metrics, recording disabled).
+func NewHandoverMetrics(reg *obs.Registry) *HandoverMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &HandoverMetrics{
+		Handovers: reg.Counter("cyclops_handover_total",
+			"Make-before-break switches to a standby transmitter."),
+		Dark: reg.Histogram("cyclops_handover_seconds",
+			"Dark time per handover: last light on the old TX path to first light on the standby.",
+			HandoverDarkBuckets),
+		Staleness: reg.Gauge("cyclops_handover_standby_staleness_seconds",
+			"Age of the standby pre-point voltages at the most recent handover."),
+	}
+}

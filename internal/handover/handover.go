@@ -18,6 +18,7 @@ import (
 	"math"
 	"time"
 
+	"cyclops/internal/fault"
 	"cyclops/internal/geom"
 	"cyclops/internal/link"
 	"cyclops/internal/motion"
@@ -55,6 +56,14 @@ type Array struct {
 	Plants    []*link.Plant
 	Occluders []Occluder
 
+	// PathFaults, when set, gives each TX path its own deterministic
+	// fault schedule (occlusion attenuation applied through the plant's
+	// SetAttenuationDB surface). nil entries — and a nil slice — mean a
+	// clear path. This is the injection surface core.Run's multi-TX
+	// recovery consumes; the geometric Occluders above remain the
+	// standalone experiment's occlusion model.
+	PathFaults []*fault.Schedule
+
 	active int
 }
 
@@ -75,11 +84,49 @@ func NewArray(cfg optics.LinkConfig, seed int64, txPositions []geom.Vec3) (*Arra
 	return a, nil
 }
 
+// RingPositions returns count ceiling mount points evenly ringed around
+// the primary TX position at the given spacing — the default multi-TX
+// placement the fig16-handover sweep and cyclops-sim's -tx flag use.
+// count is the number of standby positions (the primary at the ring's
+// center is not included).
+func RingPositions(count int, spacing float64) []geom.Vec3 {
+	pos := make([]geom.Vec3, 0, count)
+	for k := 0; k < count; k++ {
+		th := 2 * math.Pi * float64(k) / float64(count)
+		pos = append(pos, geom.V(spacing*math.Cos(th), spacing*math.Sin(th), link.CeilingHeight))
+	}
+	return pos
+}
+
+// StandbysFor builds standby transmitter plants for an existing primary
+// installation: one plant per position, each with its own TX hardware
+// identity but sharing the primary's RX assembly identity (rxSeed must be
+// the primary system's seed, so every plant agrees on the receiver it
+// serves). The returned plants are the HandoverOptions.Standbys input of
+// core.Run.
+func StandbysFor(cfg optics.LinkConfig, rxSeed int64, positions []geom.Vec3) []*link.Plant {
+	plants := make([]*link.Plant, 0, len(positions))
+	for i, pos := range positions {
+		plants = append(plants, link.NewPlantAt(cfg, rxSeed+int64(i+1)*31, rxSeed, pos))
+	}
+	return plants
+}
+
 // SetHeadset moves the (shared) headset on every plant.
 func (a *Array) SetHeadset(p geom.Pose) {
 	for _, pl := range a.Plants {
 		pl.SetHeadset(p)
 	}
+}
+
+// PathAttenDB returns the injected attenuation on TX i's path at time t
+// (0 when the path has no schedule). It reads the schedule only — the
+// plant's own attenuation surface is driven by whoever runs the clock.
+func (a *Array) PathAttenDB(i int, t time.Duration) float64 {
+	if a.PathFaults == nil || i >= len(a.PathFaults) {
+		return 0
+	}
+	return a.PathFaults[i].At(t).AttenDB
 }
 
 // Active returns the index of the transmitting TX.
@@ -154,6 +201,13 @@ type Result struct {
 	// UpFraction includes SFP re-lock penalties after each dark period.
 	UpFraction float64
 	Handovers  int
+	// Repoints counts every PointAt the run issued: the initial
+	// alignment, the tracking-cadence repoints, and the handover
+	// switches. Pinned by the repoint-cadence regression test.
+	Repoints int
+	// Ticks is the number of simulation slots the run covered — dur/tick
+	// under the half-open convention shared with internal/sim.
+	Ticks int
 	// BlockedAllFraction is the fraction of ticks when every TX was
 	// occluded (no controller can help there).
 	BlockedAllFraction float64
@@ -184,6 +238,7 @@ func (a *Array) Run(opts RunOptions) (Result, error) {
 		opts.SwitchAfter = 20 * time.Millisecond
 	}
 	const tick = time.Millisecond
+	const repointEvery = 12 * time.Millisecond
 
 	mon := link.NewMonitor(a.Plants[0].Config.Transceiver)
 	a.SetHeadset(opts.Program.Pose(0))
@@ -192,6 +247,7 @@ func (a *Array) Run(opts RunOptions) (Result, error) {
 	}
 
 	var res Result
+	res.Repoints++ // the initial alignment above
 	var ticks, light, up, allBlocked int
 	var darkSince time.Duration = -1
 	var repointUntil time.Duration = -1
@@ -200,12 +256,17 @@ func (a *Array) Run(opts RunOptions) (Result, error) {
 	// active path aligned as the headset moves.
 	var nextPoint time.Duration
 
-	for at := time.Duration(0); at <= dur; at += tick {
+	// Half-open [0, dur): dur/tick slots, the same fencepost convention
+	// internal/sim's availability and chaos loops use, so the two stacks'
+	// availability denominators agree slot for slot. (core.Run keeps its
+	// own deliberate closed-interval loop — see the note there.)
+	for at := time.Duration(0); at < dur; at += tick {
 		a.SetHeadset(opts.Program.Pose(at))
 
 		if at >= nextPoint && at >= repointUntil {
 			if _, err := a.PointAt(a.active); err == nil {
-				nextPoint = at + 12*time.Millisecond
+				res.Repoints++
+				nextPoint = at + repointEvery
 			}
 		}
 
@@ -218,7 +279,12 @@ func (a *Array) Run(opts RunOptions) (Result, error) {
 		if hasLight {
 			light++
 			darkSince = -1
-		} else if darkSince < 0 {
+		} else if darkSince < 0 && at >= repointUntil {
+			// Start the dark clock only once the mirrors have settled on
+			// the new TX: the forced darkness of the slew window must not
+			// count against the SwitchAfter debounce, or any SwitchAfter
+			// at or below the realignment latency flaps straight off a
+			// TX the controller just switched to.
 			darkSince = at
 		}
 
@@ -227,8 +293,14 @@ func (a *Array) Run(opts RunOptions) (Result, error) {
 			if cand := a.BestCandidate(at); cand >= 0 && cand != a.active {
 				if lat, err := a.PointAt(cand); err == nil {
 					res.Handovers++
+					res.Repoints++
 					repointUntil = at + lat
 					darkSince = -1
+					// The switch realigned everything: push the tracking
+					// cadence out past the slew, or the first settled tick
+					// issues a redundant PointAt and the cadence phase
+					// shifts against single-TX runs.
+					nextPoint = at + lat + repointEvery
 				}
 			}
 		}
@@ -249,6 +321,7 @@ func (a *Array) Run(opts RunOptions) (Result, error) {
 		ticks++
 	}
 
+	res.Ticks = ticks
 	res.LightFraction = float64(light) / float64(ticks)
 	res.UpFraction = float64(up) / float64(ticks)
 	res.BlockedAllFraction = float64(allBlocked) / float64(ticks)

@@ -192,3 +192,102 @@ func TestRunValidation(t *testing.T) {
 		t.Error("nil program accepted")
 	}
 }
+
+// windowOccluder parks on pos during [from, to) and sits at away otherwise.
+func windowOccluder(pos, away geom.Vec3, from, to time.Duration) Occluder {
+	return Occluder{
+		Radius: 0.15,
+		Path: func(tt time.Duration) geom.Vec3 {
+			if tt >= from && tt < to {
+				return pos
+			}
+			return away
+		},
+	}
+}
+
+// TestNoFlapDuringSlew is the regression test for the slew-window debounce
+// bug: the forced darkness while the mirrors slew to the new TX used to
+// re-arm darkSince, so any SwitchAfter at or below the 1.8 ms realignment
+// latency ping-ponged the controller between TXs.
+//
+// Fixture: TX 0's path is occluded during [5ms, 8ms); TX 1's path catches a
+// one-tick blip at [8ms, 9ms) — exactly when the old code's slew-armed dark
+// clock matured. Old code: a second handover back to TX 0 at t=8ms
+// (Handovers=2, ends on TX 0). Fixed code: the dark clock starts only after
+// the slew settles, the t=8ms blip is a single dark tick below SwitchAfter,
+// and the run ends on TX 1 with exactly one handover.
+func TestNoFlapDuringSlew(t *testing.T) {
+	a, err := NewArray(optics.Diverging10G16mm, 10, twoTXPositions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid0 := a.Plants[0].TXMountTruth().Trans.Lerp(a.Plants[0].RXWorldPose().Trans, 0.5)
+	mid1 := a.Plants[1].TXMountTruth().Trans.Lerp(a.Plants[1].RXWorldPose().Trans, 0.5)
+	away := mid0.Add(geom.V(-2, -2, 0))
+	a.Occluders = []Occluder{
+		windowOccluder(mid0, away, 5*time.Millisecond, 8*time.Millisecond),
+		windowOccluder(mid1, away, 8*time.Millisecond, 9*time.Millisecond),
+	}
+	res, err := a.Run(RunOptions{
+		Program:     staticProgram(30 * time.Millisecond),
+		Enable:      true,
+		SwitchAfter: time.Millisecond, // below the 1.8 ms realignment latency
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Handovers != 1 {
+		t.Errorf("handovers = %d, want 1 (slew darkness flapped the controller)", res.Handovers)
+	}
+	if a.Active() != 1 {
+		t.Errorf("active TX = %d, want 1 (controller flapped back)", a.Active())
+	}
+}
+
+// TestRunTickFencepost pins the half-open slot convention: a run of
+// duration D covers exactly D/tick slots, matching internal/sim's
+// availability and chaos loops (the old closed loop counted one extra).
+func TestRunTickFencepost(t *testing.T) {
+	a, _ := NewArray(optics.Diverging10G16mm, 11, twoTXPositions())
+	res, err := a.Run(RunOptions{Program: staticProgram(100 * time.Millisecond)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ticks != 100 {
+		t.Errorf("ticks = %d, want 100 (half-open [0, dur) at 1 ms)", res.Ticks)
+	}
+}
+
+// TestHandoverReschedulesRepointCadence is the regression test for the
+// stale-cadence bug: a successful handover realigns everything, but the old
+// code left nextPoint where it was, so the first post-slew cadence tick
+// issued a redundant PointAt and phase-shifted the tracking cadence.
+//
+// Fixture: TX 0 occluded during [5ms, 8ms), SwitchAfter=1ms, 14 ms run.
+// Repoints: initial alignment, the t=0 cadence point, the t=6ms handover —
+// and nothing else, because the switch pushes the cadence out to
+// t=19.8ms > dur. Old code added a fourth at the stale t=12ms slot.
+func TestHandoverReschedulesRepointCadence(t *testing.T) {
+	a, err := NewArray(optics.Diverging10G16mm, 12, twoTXPositions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid0 := a.Plants[0].TXMountTruth().Trans.Lerp(a.Plants[0].RXWorldPose().Trans, 0.5)
+	away := mid0.Add(geom.V(-2, -2, 0))
+	a.Occluders = []Occluder{windowOccluder(mid0, away, 5*time.Millisecond, 8*time.Millisecond)}
+	res, err := a.Run(RunOptions{
+		Program:     staticProgram(14 * time.Millisecond),
+		Enable:      true,
+		SwitchAfter: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Handovers != 1 {
+		t.Fatalf("handovers = %d, want 1", res.Handovers)
+	}
+	if res.Repoints != 3 {
+		t.Errorf("repoints = %d, want 3 (initial, t=0 cadence, handover); stale cadence fired", res.Repoints)
+	}
+}

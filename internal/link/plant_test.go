@@ -218,6 +218,43 @@ func TestMonitorRelock(t *testing.T) {
 	}
 }
 
+// HoldOver is the SFP's LOS-assert window: dark spells shorter than it
+// never unlock the link; one that reaches it drops the link on the sample
+// that crosses the threshold. The zero default keeps the historical
+// drop-on-first-dark behavior (TestMonitorRelock pins that path).
+func TestMonitorHoldOver(t *testing.T) {
+	ms := func(x int) time.Duration { return time.Duration(x) * time.Millisecond }
+	m := NewMonitor(optics.SFP10GZR)
+	m.HoldOver = ms(5)
+
+	if !m.Observe(ms(0), -20) {
+		t.Fatal("healthy link reported down")
+	}
+	// A 3 ms dark spell (a handover slew) rides through.
+	for at := 10; at < 13; at++ {
+		if !m.Observe(ms(at), -40) {
+			t.Fatalf("link dropped %v into a sub-holdover dark spell", ms(at-10))
+		}
+	}
+	if !m.Observe(ms(13), -20) {
+		t.Fatal("link down after light returned within holdover")
+	}
+	// Light resets the dark clock: a later dark spell gets the full window.
+	if !m.Observe(ms(20), -40) || !m.Observe(ms(24), -40) {
+		t.Fatal("dark clock not reset by intervening light")
+	}
+	// Crossing the window unlocks, and re-lock takes the full delay again.
+	if m.Observe(ms(25), -40) {
+		t.Fatal("link survived dark past the holdover window")
+	}
+	if m.Observe(ms(30), -20) {
+		t.Fatal("relocked instantly after a holdover-exceeded drop")
+	}
+	if !m.Observe(ms(30+3000), -20) {
+		t.Fatal("did not relock after the delay")
+	}
+}
+
 func TestPlantDeterministic(t *testing.T) {
 	a := alignedPlant(t, optics.Diverging10G16mm, 42)
 	b := alignedPlant(t, optics.Diverging10G16mm, 42)

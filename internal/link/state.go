@@ -17,11 +17,24 @@ type Monitor struct {
 	// Metrics, when non-nil, counts connected-state transitions.
 	Metrics *MonitorMetrics
 
+	// HoldOver is the SFP's LOS-assert window: while the link is up, a
+	// dark spell shorter than HoldOver does not unlock the transceiver —
+	// the SerDes rides through on its clock-recovery flywheel. Zero (the
+	// default) keeps the historical behavior of dropping on the first
+	// dark sample; non-zero is what makes a make-before-break handover
+	// worth anything, since a ~2 ms switch would otherwise still pay the
+	// full RelockDelay.
+	HoldOver time.Duration
+
 	up bool
 	// lightSince is when optical power was last continuously above
 	// sensitivity while the link is down.
 	lightSince time.Duration
 	hasLight   bool
+	// darkSince is when light was first continuously lost while the link
+	// is up (holdover accounting).
+	darkSince time.Duration
+	hasDark   bool
 }
 
 // NewMonitor creates a monitor that starts in the connected state (the
@@ -55,9 +68,23 @@ func NewMonitorMetrics(reg *obs.Registry) *MonitorMetrics {
 func (m *Monitor) Observe(at time.Duration, powerDBm float64) bool {
 	light := powerDBm >= m.t.SensitivityDBm
 	if m.up {
-		if !light {
+		if light {
+			m.hasDark = false
+			return true
+		}
+		// Dark while up: the LOS-assert clock runs from the first dark
+		// sample, and the link unlocks once it reaches HoldOver. The
+		// zero-HoldOver default makes that first dark sample itself the
+		// disconnect — the historical drop-on-first-dark behavior, bit
+		// for bit.
+		if !m.hasDark {
+			m.hasDark = true
+			m.darkSince = at
+		}
+		if at-m.darkSince >= m.HoldOver {
 			m.up = false
 			m.hasLight = false
+			m.hasDark = false
 			if m.Metrics != nil {
 				m.Metrics.Disconnects.Inc()
 			}

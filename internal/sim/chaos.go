@@ -3,6 +3,8 @@ package sim
 import (
 	"context"
 	"fmt"
+	"math"
+	"math/rand"
 	"time"
 
 	"cyclops/internal/fault"
@@ -24,6 +26,43 @@ type ChaosParams struct {
 	// stays down that long past the fault window's end, mirroring
 	// link.Monitor's RelockDelay.
 	Relock time.Duration
+	// TXCount is the number of ceiling transmitters serving the headset.
+	// At most one transmits; the others hold pre-pointed mirror solutions
+	// (make-before-break, mirroring core.Run's Handover path). Zero or
+	// one: the historical single-TX model, bit for bit.
+	TXCount int
+	// HandoverDark is the dark time a rescued occlusion episode costs —
+	// the ~2 ms realignment slew to the standby instead of the occlusion
+	// plus the Relock tail (default 2 ms when TXCount > 1).
+	HandoverDark time.Duration
+	// StandbyBlockProb is the probability that a given standby path is
+	// also blocked by the same occlusion event (each standby draws
+	// independently; StandbyBlockProbForSpacing derives it from ceiling
+	// placement). An episode with every standby blocked is not rescued
+	// and pays the full single-TX cost.
+	StandbyBlockProb float64
+}
+
+// StandbyBlockProbForSpacing estimates StandbyBlockProb from ceiling
+// geometry with a sector-overlap model: the occluder (a torso/arm at
+// roughly arm's length, 0.35 m across at 1 m) shadows an angular sector of
+// half-angle h around the primary path as seen from the headset; a standby
+// whose beam arrives θ = 2·atan(spacing / (2·1.75)) away (1.75 m is the
+// nominal ceiling-to-headset height) escapes the shadow when θ exceeds the
+// sector. The 2% floor models body-scale events that shadow the whole
+// ceiling at once.
+func StandbyBlockProbForSpacing(spacing float64) float64 {
+	const floorProb = 0.02
+	h := math.Atan2(0.35, 1.0)
+	theta := 2 * math.Atan2(spacing/2, 1.75)
+	if theta >= 2*h {
+		return floorProb
+	}
+	p := (2*h - theta) / (2 * h)
+	if p < floorProb {
+		p = floorProb
+	}
+	return p
 }
 
 // PaperChaos25G returns Paper25G plus the chaos constants: a 10 dB
@@ -48,6 +87,10 @@ type ChaosTraceResult struct {
 	// BlockedSlots counts slots lost to those episodes (a subset of
 	// OffSlots; the rest are ordinary misalignment).
 	BlockedSlots int
+	// Handovers counts occlusion episodes rescued by a switch to a clear
+	// standby TX (TXCount > 1 only): those cost HandoverDark of blocked
+	// time instead of an outage.
+	Handovers int
 }
 
 // SimulateTraceChaos runs the slot model over one trace with the given
@@ -94,6 +137,28 @@ func SimulateTraceChaos(tr trace.Trace, p ChaosParams, sched *fault.Schedule, re
 	wasBlocked := false
 	var blockedSince time.Duration
 
+	// Multi-TX handover state. The rescue stream is a per-trace rng
+	// derived from the schedule's seed, with a fixed per-episode
+	// consumption pattern (one draw per standby, every episode), so any
+	// worker count replays it bit for bit. TXCount ≤ 1 creates neither
+	// the rng nor the handover instruments — the historical single-TX
+	// path, byte-identical exposition included.
+	multiTX := p.TXCount > 1
+	handoverDark := p.HandoverDark
+	if handoverDark <= 0 {
+		handoverDark = 2 * time.Millisecond
+	}
+	var hm *fault.HandoverMetrics
+	var rng *rand.Rand
+	if multiTX {
+		hm = fault.NewHandoverMetrics(reg)
+		rng = rand.New(rand.NewSource(sched.Seed*9176 + 13))
+	}
+	inOcc := false
+	rescued := false
+	blockedRescued := false
+	var hoUntil time.Duration
+
 	for at := time.Duration(0); at < end; at += p.Slot {
 		var fs fault.State
 		if !sched.Empty() {
@@ -135,20 +200,52 @@ func SimulateTraceChaos(tr trace.Trace, p ChaosParams, sched *fault.Schedule, re
 			realignAt = -1
 		}
 
-		// Occlusion and its re-lock tail.
+		// Occlusion and its re-lock tail. With standby TXs, each
+		// occlusion episode draws whether any standby path escaped the
+		// same event: a rescued episode costs HandoverDark of blocked
+		// slots (the make-before-break slew) and no re-lock tail; an
+		// unrescued one pays the full single-TX cost.
 		occluded := fs.AttenDB >= p.BlockAttenDB && p.BlockAttenDB > 0
-		if occluded {
+		if occluded && !inOcc {
+			inOcc = true
+			rescued = false
+			if multiTX {
+				// One draw per standby on every episode, rescued or
+				// not, so the stream's consumption pattern is fixed.
+				for k := 1; k < p.TXCount; k++ {
+					if rng.Float64() >= p.StandbyBlockProb {
+						rescued = true
+					}
+				}
+				if rescued {
+					hoUntil = at + handoverDark
+					res.Handovers++
+					hm.Handovers.Inc()
+					hm.Dark.Observe(handoverDark.Seconds())
+				}
+			}
+		} else if !occluded {
+			inOcc = false
+		}
+		sever := occluded && !(rescued && at >= hoUntil)
+		if sever && !rescued {
 			relockUntil = at + p.Relock
 		}
-		blocked := occluded || (relockUntil >= 0 && at < relockUntil)
+		blocked := sever || (relockUntil >= 0 && at < relockUntil)
 		if blocked && !wasBlocked {
-			res.Outages++
 			blockedSince = at
-			if om != nil {
-				om.Outages.Inc()
+			blockedRescued = rescued
+			if !rescued {
+				// A rescued episode is a handover, not an outage: the
+				// transceiver's holdover rides the switch, so neither
+				// cyclops_outage_total nor the re-lock histogram sees it.
+				res.Outages++
+				if om != nil {
+					om.Outages.Inc()
+				}
 			}
 		}
-		if !blocked && wasBlocked && om != nil {
+		if !blocked && wasBlocked && !blockedRescued && om != nil {
 			om.Reacquire.Observe((at - blockedSince).Seconds())
 		}
 		wasBlocked = blocked
@@ -190,9 +287,11 @@ type ChaosCorpusResult struct {
 	// MeanOnFraction / MinOnFraction / MaxOnFraction mirror CorpusResult.
 	MeanOnFraction               float64
 	MinOnFraction, MaxOnFraction float64
-	// Outages and BlockedSlots total the per-trace episode bookkeeping.
+	// Outages, BlockedSlots, and Handovers total the per-trace episode
+	// bookkeeping.
 	Outages      int
 	BlockedSlots int
+	Handovers    int
 	// Metrics merges the per-trace registries in trace order —
 	// byte-identical for any worker count.
 	Metrics obs.Snapshot
@@ -237,6 +336,7 @@ func SimulateChaosCorpus(ctx context.Context, traces []trace.Trace, p ChaosParam
 		off += r.OffSlots
 		c.Outages += r.Outages
 		c.BlockedSlots += r.BlockedSlots
+		c.Handovers += r.Handovers
 		if i == 0 {
 			c.MinOnFraction, c.MaxOnFraction = r.OnFraction, r.OnFraction
 		} else {

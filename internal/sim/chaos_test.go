@@ -96,6 +96,106 @@ func TestChaosStuckGalvoDegrades(t *testing.T) {
 	}
 }
 
+// TXCount 0 and 1 take the identical single-TX path: same results, same
+// exposition, no handover instruments, no rescue rng consumed.
+func TestChaosSingleTXBitIdentical(t *testing.T) {
+	tr := trace.Generate(5, 42, 10*time.Second, geom.V(0.35, 0.25, 1.0))
+	p := PaperChaos25G()
+	p.Relock = 500 * time.Millisecond
+	sched := &fault.Schedule{Seed: 3, Windows: []fault.Window{{
+		Kind: fault.Occlusion, Start: 2 * time.Second, End: 2*time.Second + 300*time.Millisecond,
+		DepthDB: 30, Ramp: 10 * time.Millisecond,
+	}}}
+	run := func(txCount int) (ChaosTraceResult, string) {
+		reg := obs.NewRegistry()
+		q := p
+		q.TXCount = txCount
+		return SimulateTraceChaos(tr, q, sched, reg), reg.Exposition()
+	}
+	r0, e0 := run(0)
+	r1, e1 := run(1)
+	if !reflect.DeepEqual(r1, r0) {
+		t.Error("TXCount=1 differs from TXCount=0")
+	}
+	if e1 != e0 {
+		t.Error("TXCount=1 exposition differs from TXCount=0")
+	}
+	if containsSub(e0, "cyclops_handover") {
+		t.Error("single-TX run registered handover metrics")
+	}
+}
+
+// With a certainly-clear standby every occlusion episode is rescued: one
+// handover per episode, no outage, ~HandoverDark of blocked time instead of
+// the occlusion plus the re-lock tail. With every standby certainly blocked
+// the multi-TX run collapses to the single-TX cost.
+func TestChaosMultiTXRescue(t *testing.T) {
+	tr := trace.Generate(5, 42, 10*time.Second, geom.V(0.35, 0.25, 1.0))
+	p := PaperChaos25G()
+	p.Relock = 500 * time.Millisecond
+	p.TXCount = 2
+	p.HandoverDark = 2 * time.Millisecond
+	sched := &fault.Schedule{Seed: 3, Windows: []fault.Window{{
+		Kind: fault.Occlusion, Start: 2 * time.Second, End: 2*time.Second + 300*time.Millisecond,
+		DepthDB: 30, Ramp: 10 * time.Millisecond,
+	}}}
+
+	p.StandbyBlockProb = 0 // standby always clear
+	reg := obs.NewRegistry()
+	rescued := SimulateTraceChaos(tr, p, sched, reg)
+	if rescued.Handovers != 1 {
+		t.Errorf("Handovers = %d, want 1", rescued.Handovers)
+	}
+	if rescued.Outages != 0 {
+		t.Errorf("Outages = %d, want 0 (rescued episode is not an outage)", rescued.Outages)
+	}
+	if rescued.BlockedSlots < 1 || rescued.BlockedSlots > 4 {
+		t.Errorf("BlockedSlots = %d, want ≈2 (one HandoverDark slew)", rescued.BlockedSlots)
+	}
+	exp := reg.Exposition()
+	for _, want := range []string{"cyclops_handover_total 1", "cyclops_outage_total 0"} {
+		if !containsLine(exp, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	p.StandbyBlockProb = 1 // standby always shadowed too
+	doomed := SimulateTraceChaos(tr, p, sched, obs.NewRegistry())
+	single := p
+	single.TXCount = 1
+	base := SimulateTraceChaos(tr, single, sched, obs.NewRegistry())
+	if doomed.Handovers != 0 || doomed.Outages != base.Outages || doomed.BlockedSlots != base.BlockedSlots {
+		t.Errorf("fully-shadowed multi-TX run differs from single-TX: %+v vs %+v",
+			doomed, base)
+	}
+
+	// Same parameters, same seed: bit-identical replay.
+	again := SimulateTraceChaos(tr, p, sched, obs.NewRegistry())
+	if !reflect.DeepEqual(again, doomed) {
+		t.Error("multi-TX chaos run not reproducible")
+	}
+}
+
+// The sector-overlap placement model: wider ceiling spacing means a standby
+// is less likely to share the primary's shadow, floored at the body-scale
+// event rate.
+func TestStandbyBlockProbForSpacing(t *testing.T) {
+	narrow := StandbyBlockProbForSpacing(0.6)
+	wide := StandbyBlockProbForSpacing(1.4)
+	if !(narrow > wide) {
+		t.Errorf("narrow spacing %v not riskier than wide %v", narrow, wide)
+	}
+	if wide != 0.02 {
+		t.Errorf("1.4 m spacing = %v, want the 0.02 floor", wide)
+	}
+	if huge := StandbyBlockProbForSpacing(10); huge != 0.02 {
+		t.Errorf("huge spacing = %v, want the 0.02 floor", huge)
+	}
+	if narrow <= 0.02 || narrow >= 1 {
+		t.Errorf("narrow spacing %v outside (0.02, 1)", narrow)
+	}
+}
+
 func TestSimulateChaosCorpusWorkerDeterminism(t *testing.T) {
 	origin := geom.V(0.35, 0.25, 1.0)
 	traces := make([]trace.Trace, 24)
@@ -142,6 +242,15 @@ func TestSimulateChaosCorpusCancellation(t *testing.T) {
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
+}
+
+func containsSub(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
 }
 
 func containsLine(exp, want string) bool {

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race lint lint-smoke verify bench bench-hotpath alloc-check metrics-smoke chaos-smoke handover-smoke clean
+.PHONY: all build vet test race lint lint-smoke verify bench bench-hotpath alloc-check metrics-smoke chaos-smoke handover-smoke arena-smoke mem-check clean
 
 all: verify
 
@@ -48,6 +48,8 @@ verify:
 	$(MAKE) metrics-smoke
 	$(MAKE) chaos-smoke
 	$(MAKE) handover-smoke
+	$(MAKE) arena-smoke
+	$(MAKE) mem-check
 
 # Allocation-regression gate for the compiled hot path: the zero-alloc
 # contracts on Compiled.Beam, G', and P are pinned by AllocsPerRun tests;
@@ -101,6 +103,30 @@ handover-smoke:
 	grep -q '^cyclops_supervisor_handover_seconds ' .handover_smoke.prom
 	rm -f .handover_smoke.prom
 	@echo "handover-smoke: ok"
+
+# End-to-end arena check: a packed 4×4 m venue (32 users at 2/m², four
+# ceiling TXs serving 4 headsets each) must fire body occlusions that the
+# adjacent-TX pool rescues — nonzero make-before-break handovers — and
+# print the pinned capacity-planning line. The seeded run is bit-stable,
+# so the asserted counts are exact, not thresholds.
+arena-smoke:
+	$(GO) run ./cmd/cyclops-sim -experiment fig16-arena -users 32 -density 2 -seed 1 -metrics .arena_smoke.prom > .arena_smoke.out
+	grep -q '^  capacity: 4 users/TX holds 99% avail up to 2.00 users/m²' .arena_smoke.out
+	grep -q '^cyclops_handover_total [1-9]' .arena_smoke.prom
+	grep -q '^cyclops_arena_users_total 32$$' .arena_smoke.prom
+	grep -q '^cyclops_arena_unserved_users_total 16$$' .arena_smoke.prom
+	grep -q '^cyclops_arena_cells_total 4$$' .arena_smoke.prom
+	grep -q '^cyclops_arena_user_goodput_gbps_count 16$$' .arena_smoke.prom
+	rm -f .arena_smoke.prom .arena_smoke.out
+	@echo "arena-smoke: ok"
+
+# Memory-boundedness gate for the streaming corpus engine: a 10× larger
+# corpus must finish within a fixed live-heap envelope of the small one
+# (the engine holds O(workers·shard) traces, never the corpus). Run
+# without -race so HeapAlloc measures the engine, not the detector.
+mem-check:
+	$(GO) test -run 'TestRunCorpusMemoryBounded' -count 1 ./internal/sim/
+	@echo "mem-check: ok"
 
 # Serial vs parallel wall time for the Fig 16 500-trace corpus, recorded
 # into BENCH_parallel.json. The two benchmarks produce bit-identical
@@ -156,5 +182,5 @@ bench-hotpath:
 	cat BENCH_hotpath.json
 
 clean:
-	rm -f BENCH_parallel.json BENCH_hotpath.json .bench_parallel.txt .bench_hotpath.txt .metrics_smoke.prom .chaos_smoke.prom .handover_smoke.prom
+	rm -f BENCH_parallel.json BENCH_hotpath.json .bench_parallel.txt .bench_hotpath.txt .metrics_smoke.prom .chaos_smoke.prom .handover_smoke.prom .arena_smoke.prom .arena_smoke.out
 	$(GO) clean ./...

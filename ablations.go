@@ -9,7 +9,6 @@ import (
 	"cyclops/internal/galvo"
 	"cyclops/internal/geom"
 	"cyclops/internal/kspace"
-	"cyclops/internal/link"
 	"cyclops/internal/motion"
 	"cyclops/internal/optimize"
 	"cyclops/internal/parallel"
@@ -256,15 +255,36 @@ type TrackingRatePoint struct {
 // sweep fans out across the default worker pool (results in interval
 // order, identical to the serial sweep).
 func AblationTrackingRate(seed int64, intervals []time.Duration) []TrackingRatePoint {
-	traces := trace.Dataset(seed, link.DefaultHeadsetPose().Trans)
+	src := TraceSource(seed)
 	return parallel.Map(len(intervals), 0, func(k int) TrackingRatePoint {
 		iv := intervals[k]
-		resampled := parallel.Map(len(traces), 0, func(i int) trace.Trace {
-			return resampleTrace(traces[i], iv)
+		// resampledSource re-times each trace as it streams — the corpus
+		// is never materialized at either sampling rate.
+		c, err := sim.RunCorpus(resampledSource{src: src, interval: iv}, sim.CorpusOptions{
+			Params: sim.Paper25G(),
+			// The interval sweep already fans out; keep each corpus run
+			// serial so the two levels don't oversubscribe the pool.
+			Workers: 1,
 		})
-		c := sim.SimulateCorpus(resampled, sim.Paper25G())
+		if err != nil {
+			// A context-free clean corpus run has no error source.
+			panic(err) //cyclops:panic-ok unreachable
+		}
 		return TrackingRatePoint{ReportInterval: iv, MeanOnFraction: c.MeanOnFraction}
 	})
+}
+
+// resampledSource wraps a trace source, re-timing every trace to a fixed
+// report interval on the fly.
+type resampledSource struct {
+	src      trace.Source
+	interval time.Duration
+}
+
+func (r resampledSource) Len() int { return r.src.Len() }
+
+func (r resampledSource) At(i int) trace.Trace {
+	return resampleTrace(r.src.At(i), r.interval)
 }
 
 // resampleTrace re-times a trace's reports to the given interval by

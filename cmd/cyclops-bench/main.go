@@ -24,6 +24,8 @@
 // The experiment names come from the cyclops.Experiments registry:
 // fig3, table1, fig11, table2, tp, fig13, fig14, fig15, table3, fig16,
 // fig16-faults (the chaos availability sweep),
+// fig16-handover (the multi-TX make-before-break sweep),
+// fig16-arena (the multi-user venue capacity sweep),
 // convergence, ablations, extensions — or all.
 package main
 

@@ -11,9 +11,13 @@
 //	cyclops-sim -motion handheld -chaos -chaos-seed 7   # fault injection
 //	cyclops-sim -motion handheld -chaos -tx 2      # multi-TX handover
 //	cyclops-sim -experiment convergence            # registry dispatch
+//	cyclops-sim -experiment fig16-arena -users 64 -density 1.0
 //
 // -experiment bypasses the interactive run and executes a named entry of
 // the cyclops.Experiments registry instead (same names as cyclops-bench).
+// For fig16-arena, -users switches from the default sweep to a single
+// venue sized to hold that many headsets at -density users/m²
+// (-users-per-tx caps how many one ceiling TX serves).
 // -chaos plans a seeded fault schedule (cyclops.DefaultFaultConfig) over
 // the run and arms the recovery supervisor: the summary then reports
 // outages, reacquisitions, and degraded time, and the metrics exposition
@@ -56,6 +60,9 @@ func main() {
 	txCount := flag.Int("tx", 1, "total ceiling TX count; > 1 arms make-before-break handover (requires -chaos)")
 	txSpacing := flag.Float64("handover-spacing", 1.4, "ceiling ring spacing in meters for the standby TXs of -tx")
 	handoverFlag := flag.Bool("handover", false, "shorthand for -tx 2")
+	users := flag.Int("users", 0, "with -experiment fig16-arena: headset count for a single-venue run instead of the default sweep")
+	density := flag.Float64("density", 0, "with -experiment fig16-arena: crowd density in users/m² (requires -users)")
+	usersPerTX := flag.Int("users-per-tx", 0, "with -experiment fig16-arena -users: per-ceiling-TX serving cap (0 = arena default)")
 	flag.Parse()
 	if *handoverFlag && *txCount < 2 {
 		*txCount = 2
@@ -70,6 +77,21 @@ func main() {
 			fmt.Fprintf(os.Stderr, "cyclops-sim: writing metrics: %v\n", err)
 			os.Exit(1)
 		}
+	}
+
+	if *experiment == "fig16-arena" && *users > 0 {
+		d := *density
+		if d <= 0 {
+			d = 1.0
+		}
+		res, err := cyclops.Fig16ArenaAt(*seed, *users, d, *usersPerTX, 0)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cyclops-sim: fig16-arena: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(res.Render())
+		writeMetrics()
+		return
 	}
 
 	if *experiment != "" {

@@ -65,6 +65,9 @@ type LinkConfig = optics.LinkConfig
 // Pose is a rigid transform / headset pose.
 type Pose = geom.Pose
 
+// Vec3 is a 3-vector (positions in meters, venue coordinates).
+type Vec3 = geom.Vec3
+
 // Program drives the true headset pose during a run.
 type Program = motion.Program
 
@@ -141,14 +144,38 @@ func Playback(t Trace) Program {
 	return &motion.TracePlayback{Base: link.DefaultHeadsetPose(), T: t}
 }
 
-// GenerateTrace synthesizes one Fig 3-calibrated viewing trace.
+// GenerateTrace synthesizes one Fig 3-calibrated viewing trace anchored
+// at the default headset position.
 func GenerateTrace(seed int64, index int, length time.Duration) Trace {
-	return trace.Generate(seed, index, length, link.DefaultHeadsetPose().Trans)
+	return GenerateTraceAt(seed, index, length, link.DefaultHeadsetPose().Trans)
+}
+
+// GenerateTraceAt is GenerateTrace with an explicit anchor: the trace's
+// head motion wanders around origin instead of the default headset
+// position — one user of a multi-headset venue, or a rig mounted
+// off-center.
+func GenerateTraceAt(seed int64, index int, length time.Duration, origin Vec3) Trace {
+	return trace.Generate(seed, index, length, origin)
+}
+
+// TraceSource is the streaming form of the Fig 16 corpus: 500 one-minute
+// traces generated on demand. Feed it to RunCorpus to simulate without
+// materializing the corpus, or to sim.Materialize for a []Trace.
+func TraceSource(seed int64) trace.Source {
+	return trace.Source{
+		Seed:   seed,
+		N:      trace.DatasetTraces,
+		Length: time.Minute,
+		Origin: link.DefaultHeadsetPose().Trans,
+	}
 }
 
 // TraceDataset synthesizes the 500-trace corpus used by Fig 16.
+//
+// Deprecated: use TraceSource with RunCorpus (streaming, memory-bounded)
+// or sim.Materialize when a slice is genuinely needed.
 func TraceDataset(seed int64) []Trace {
-	return trace.Dataset(seed, link.DefaultHeadsetPose().Trans)
+	return sim.Materialize(TraceSource(seed), 0)
 }
 
 // SpeedThreshold analyzes run samples for the highest speed bucket that
@@ -170,7 +197,8 @@ type TraceResult = sim.TraceResult
 // TraceAvailability is the per-trace outcome of the §5.4 availability
 // simulation.
 //
-// Deprecated: use TraceResult, which matches the internal/sim name.
+// Deprecated: use TraceResult, which matches the internal/sim name. No
+// in-repo caller remains; the alias stays for API compatibility only.
 type TraceAvailability = sim.TraceResult
 
 // CorpusResult aggregates a full §5.4 dataset run (Fig 16's data).
@@ -178,8 +206,34 @@ type CorpusResult = sim.CorpusResult
 
 // AvailabilityCorpus aggregates a full §5.4 dataset run (Fig 16's data).
 //
-// Deprecated: use CorpusResult, which matches the internal/sim name.
+// Deprecated: use CorpusResult, which matches the internal/sim name. No
+// in-repo caller remains; the alias stays for API compatibility only.
 type AvailabilityCorpus = sim.CorpusResult
+
+// CorpusSource is a streaming corpus: traces are produced on demand
+// (TraceSource, sim.TraceSlice) so corpus size never bounds memory.
+type CorpusSource = sim.CorpusSource
+
+// CorpusOptions configures RunCorpus; the zero value means the paper's
+// defaults (25G constants, default worker pool, aggregate-only).
+type CorpusOptions = sim.CorpusOptions
+
+// CorpusRunResult is RunCorpus's outcome: the order-insensitive aggregate
+// plus a resumable checkpoint.
+type CorpusRunResult = sim.CorpusRunResult
+
+// CorpusCheckpoint is a resumable position in a corpus run (set
+// CorpusOptions.Resume to continue).
+type CorpusCheckpoint = sim.Checkpoint
+
+// RunCorpus streams a corpus through the §5.4 slot model — optionally
+// under fault injection (CorpusOptions.Chaos) — sharded across the worker
+// pool, bit-identical at any worker count, resumable by shard. This is
+// the unified entry point behind Fig16, fig16-faults, fig16-handover and
+// the arena engine.
+func RunCorpus(src CorpusSource, opts CorpusOptions) (CorpusRunResult, error) {
+	return sim.RunCorpus(src, opts)
+}
 
 // FaultSchedule is a seeded, reproducible list of fault windows. Set
 // RunOptions.Faults to a non-empty schedule to arm fault injection and the

@@ -1,7 +1,6 @@
 package cyclops
 
 import (
-	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -11,12 +10,10 @@ import (
 	"cyclops/internal/core"
 	"cyclops/internal/fault"
 	"cyclops/internal/geom"
-	"cyclops/internal/link"
 	"cyclops/internal/optics"
 	"cyclops/internal/parallel"
 	"cyclops/internal/pointing"
 	"cyclops/internal/sim"
-	"cyclops/internal/trace"
 )
 
 // This file contains one runner per table/figure in the paper's
@@ -576,8 +573,25 @@ func Fig16(seed int64) Fig16Result {
 // parallel package default, 1 forces the serial path). The determinism
 // contract holds: any worker count returns the identical Fig16Result.
 func Fig16Workers(seed int64, workers int) Fig16Result {
-	traces := trace.DatasetWorkers(seed, link.DefaultHeadsetPose().Trans, workers)
-	corpus := sim.SimulateCorpusWorkers(traces, sim.Paper25G(), workers)
+	run, err := sim.RunCorpus(TraceSource(seed), sim.CorpusOptions{
+		Params:       sim.Paper25G(),
+		Workers:      workers,
+		KeepPerTrace: true,
+	})
+	if err != nil {
+		// A context-free clean corpus run has no error source.
+		panic(err) //cyclops:panic-ok unreachable
+	}
+	corpus := sim.CorpusResult{
+		PerTrace:       make([]sim.TraceResult, len(run.PerTrace)),
+		MeanOnFraction: run.MeanOnFraction,
+		MinOnFraction:  run.MinOnFraction,
+		MaxOnFraction:  run.MaxOnFraction,
+		Metrics:        run.Metrics,
+	}
+	for i, r := range run.PerTrace {
+		corpus.PerTrace[i] = r.TraceResult
+	}
 	var off, scattered float64
 	for _, r := range corpus.PerTrace {
 		off += float64(r.OffSlots)
@@ -652,8 +666,16 @@ func Fig16Faults(seed int64) (Fig16FaultsResult, error) {
 // fault plans, and the slot model are all seeded, so every worker count
 // returns the identical Fig16FaultsResult bit for bit.
 func Fig16FaultsWorkers(seed int64, workers int) (Fig16FaultsResult, error) {
-	traces := trace.DatasetWorkers(seed, link.DefaultHeadsetPose().Trans, workers)
-	base := sim.SimulateCorpusWorkers(traces, sim.Paper25G(), workers)
+	// The sweep reuses one corpus across every cell, so materialize it
+	// once and stream the chaos runs aggregate-only.
+	traces := sim.Materialize(TraceSource(seed), workers)
+	base, err := sim.RunCorpus(sim.TraceSlice(traces), sim.CorpusOptions{
+		Params:  sim.Paper25G(),
+		Workers: workers,
+	})
+	if err != nil {
+		return Fig16FaultsResult{}, err
+	}
 	res := Fig16FaultsResult{BaselineOnFraction: base.MeanOnFraction}
 	p := sim.PaperChaos25G()
 	for _, rate := range fig16FaultsSweep.rates {
@@ -665,7 +687,10 @@ func Fig16FaultsWorkers(seed int64, workers int) (Fig16FaultsResult, error) {
 				Blackout:         fault.ClassConfig{PerMin: 1, MinDur: 50 * time.Millisecond, MaxDur: 150 * time.Millisecond},
 				Stuck:            fault.ClassConfig{PerMin: 0.5, MinDur: 100 * time.Millisecond, MaxDur: 300 * time.Millisecond},
 			}
-			c, err := sim.SimulateChaosCorpus(context.Background(), traces, p, cfg, seed+1, workers)
+			c, err := sim.RunCorpus(sim.TraceSlice(traces), sim.CorpusOptions{
+				Chaos:   &sim.CorpusChaos{Config: cfg, Seed: seed + 1, Params: p},
+				Workers: workers,
+			})
 			if err != nil {
 				return res, err
 			}
@@ -770,8 +795,14 @@ func Fig16HandoverWorkers(seed int64, workers int) (Fig16HandoverResult, error) 
 }
 
 func fig16HandoverRun(seed int64, workers int, grid fig16HandoverGrid) (Fig16HandoverResult, error) {
-	traces := trace.DatasetWorkers(seed, link.DefaultHeadsetPose().Trans, workers)
-	base := sim.SimulateCorpusWorkers(traces, sim.Paper25G(), workers)
+	traces := sim.Materialize(TraceSource(seed), workers)
+	base, err := sim.RunCorpus(sim.TraceSlice(traces), sim.CorpusOptions{
+		Params:  sim.Paper25G(),
+		Workers: workers,
+	})
+	if err != nil {
+		return Fig16HandoverResult{}, err
+	}
 	res := Fig16HandoverResult{BaselineOnFraction: base.MeanOnFraction}
 	for _, oc := range grid.occl {
 		cfg := fault.Config{
@@ -790,7 +821,10 @@ func fig16HandoverRun(seed int64, workers int, grid fig16HandoverGrid) (Fig16Han
 				p.TXCount = tx
 				p.HandoverDark = 2 * time.Millisecond
 				p.StandbyBlockProb = sim.StandbyBlockProbForSpacing(spacing)
-				c, err := sim.SimulateChaosCorpus(context.Background(), traces, p, cfg, seed+1, workers)
+				c, err := sim.RunCorpus(sim.TraceSlice(traces), sim.CorpusOptions{
+					Chaos:   &sim.CorpusChaos{Config: cfg, Seed: seed + 1, Params: p},
+					Workers: workers,
+				})
 				if err != nil {
 					return res, err
 				}
@@ -807,13 +841,8 @@ func fig16HandoverRun(seed int64, workers int, grid fig16HandoverGrid) (Fig16Han
 				if tx <= 1 {
 					cell.SpacingM = 0
 				}
-				var slots, blocked int
-				for _, r := range c.PerTrace {
-					slots += r.Slots
-					blocked += r.BlockedSlots
-				}
-				if slots > 0 {
-					cell.ChaosAvailability = 1 - float64(blocked)/float64(slots)
+				if c.Slots > 0 {
+					cell.ChaosAvailability = 1 - float64(c.BlockedSlots)/float64(c.Slots)
 				}
 				res.Cells = append(res.Cells, cell)
 			}

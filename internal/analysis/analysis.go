@@ -154,6 +154,7 @@ func Rules() []Rule {
 // engine and everything it fans out over. The determinism and map-order
 // rules scope to these (a trailing /... is implied).
 var deterministicPackages = []string{
+	"internal/arena",
 	"internal/core",
 	"internal/sim",
 	"internal/fault",

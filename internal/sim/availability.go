@@ -17,7 +17,6 @@ import (
 
 	"cyclops/internal/geom"
 	"cyclops/internal/obs"
-	"cyclops/internal/parallel"
 	"cyclops/internal/trace"
 )
 
@@ -263,10 +262,10 @@ func (c CorpusResult) String() string {
 		c.MeanOnFraction*100, c.MinOnFraction*100, c.MaxOnFraction*100, len(c.PerTrace))
 }
 
-// SimulateCorpus runs the slot model over every trace, fanning the
-// independent per-trace simulations out across parallel.DefaultWorkers()
-// workers. The result is bit-identical to a serial run: per-trace results
-// are collected in trace order and all reductions happen afterwards.
+// SimulateCorpus runs the slot model over every trace on the default
+// worker pool. The result is bit-identical to a serial run.
+//
+// Deprecated: use RunCorpus, the streaming engine behind this wrapper.
 func SimulateCorpus(traces []trace.Trace, p AvailabilityParams) CorpusResult {
 	return SimulateCorpusWorkers(traces, p, 0)
 }
@@ -274,31 +273,34 @@ func SimulateCorpus(traces []trace.Trace, p AvailabilityParams) CorpusResult {
 // SimulateCorpusWorkers is SimulateCorpus with an explicit worker count
 // (≤ 0 means the parallel package default, 1 forces the serial path).
 // Every worker count produces the same CorpusResult bit for bit.
+//
+// Deprecated: use RunCorpus with CorpusOptions.Workers. This wrapper pins
+// the historical behavior bit for bit: single-trace shards reproduce the
+// old per-trace metrics fold exactly (see
+// TestSimulateCorpusWrapperBitIdentical).
 func SimulateCorpusWorkers(traces []trace.Trace, p AvailabilityParams, workers int) CorpusResult {
-	var c CorpusResult
-	c.PerTrace, c.Metrics = parallel.MapObs(len(traces), workers, func(i int, reg *obs.Registry) TraceResult {
-		return SimulateTraceObs(traces[i], p, reg)
+	run, err := runCorpus(TraceSlice(traces), corpusConfig{
+		params:       p,
+		workers:      workers,
+		shardSize:    1,
+		keepPerTrace: true,
+		registry:     obs.Default(),
 	})
-	obs.Default().Merge(c.Metrics)
-	// Reductions run serially over the ordered results — min/max/mean
-	// must never be accumulated inside the workers.
-	var slots, off int
-	for i, r := range c.PerTrace {
-		slots += r.Slots
-		off += r.OffSlots
-		if i == 0 {
-			c.MinOnFraction, c.MaxOnFraction = r.OnFraction, r.OnFraction
-		} else {
-			if r.OnFraction < c.MinOnFraction {
-				c.MinOnFraction = r.OnFraction
-			}
-			if r.OnFraction > c.MaxOnFraction {
-				c.MaxOnFraction = r.OnFraction
-			}
-		}
+	if err != nil {
+		// Unreachable: no context, no fallible jobs — kept as a guard so
+		// an engine regression cannot silently return a zero corpus.
+		//cyclops:panic-ok unreachable: a context-free clean corpus run has no error source
+		panic(err)
 	}
-	if slots > 0 {
-		c.MeanOnFraction = 1 - float64(off)/float64(slots)
+	c := CorpusResult{
+		PerTrace:       make([]TraceResult, len(run.PerTrace)),
+		MeanOnFraction: run.MeanOnFraction,
+		MinOnFraction:  run.MinOnFraction,
+		MaxOnFraction:  run.MaxOnFraction,
+		Metrics:        run.Metrics,
+	}
+	for i, r := range run.PerTrace {
+		c.PerTrace[i] = r.TraceResult
 	}
 	return c
 }

@@ -9,7 +9,6 @@ import (
 
 	"cyclops/internal/fault"
 	"cyclops/internal/obs"
-	"cyclops/internal/parallel"
 	"cyclops/internal/trace"
 )
 
@@ -111,6 +110,17 @@ type ChaosTraceResult struct {
 // hardware supervisor uses (cyclops_outage_total,
 // cyclops_reacquire_seconds), so both fault paths expose identically.
 func SimulateTraceChaos(tr trace.Trace, p ChaosParams, sched *fault.Schedule, reg *obs.Registry) ChaosTraceResult {
+	return SimulateTraceChaosSlots(tr, p, sched, reg, nil)
+}
+
+// SimulateTraceChaosSlots is SimulateTraceChaos with a per-slot sink:
+// sink(slot, off) fires once per simulated slot, in slot order, with the
+// slot's final connectivity verdict (off covers both misalignment and
+// blocking). The arena engine uses it to replay per-user connectivity
+// through the shared-backhaul contention pass without materializing a
+// second slot loop. A nil sink is the plain SimulateTraceChaos, cost
+// included — the nil check is one predictable branch per slot.
+func SimulateTraceChaosSlots(tr trace.Trace, p ChaosParams, sched *fault.Schedule, reg *obs.Registry, sink func(slot int, off bool)) ChaosTraceResult {
 	res := ChaosTraceResult{TraceResult: TraceResult{ID: tr.ID}}
 	if len(tr.Samples) < 2 || p.Slot <= 0 {
 		return res
@@ -252,12 +262,16 @@ func SimulateTraceChaos(tr trace.Trace, p ChaosParams, sched *fault.Schedule, re
 
 		// Connectivity check for this slot.
 		slots++
-		if blocked || lat > tolLat || ang > tolAng {
+		off := blocked || lat > tolLat || ang > tolAng
+		if off {
 			offSlots++
 			frameOff++
 			if blocked {
 				res.BlockedSlots++
 			}
+		}
+		if sink != nil {
+			sink(slots-1, off)
 		}
 		slotInFrame++
 		if slotInFrame == 30 {
@@ -305,51 +319,34 @@ func (c ChaosCorpusResult) String() string {
 // SimulateChaosCorpus runs the chaos slot model over every trace with a
 // per-trace fault schedule planned from cfg: trace i gets the seed
 // seed + 7919·i, so each trace's faults are independent but the whole
-// corpus is a pure function of (cfg, seed). The fan-out uses
-// parallel.MapCtx — ctx cancellation stops claiming new traces — and every
-// worker count produces the same result bit for bit.
+// corpus is a pure function of (cfg, seed). Ctx cancellation stops
+// claiming new traces, and every worker count produces the same result
+// bit for bit.
+//
+// Deprecated: use RunCorpus with CorpusOptions.Chaos — the streaming
+// engine behind both. This wrapper pins the historical behavior bit for
+// bit (single-trace shards reproduce the old per-trace metrics fold
+// exactly; see TestSimulateChaosCorpusWrapperBitIdentical).
 func SimulateChaosCorpus(ctx context.Context, traces []trace.Trace, p ChaosParams, cfg fault.Config, seed int64, workers int) (ChaosCorpusResult, error) {
-	type job struct {
-		res  ChaosTraceResult
-		snap obs.Snapshot
-	}
-	var c ChaosCorpusResult
-	outs, err := parallel.MapCtx(ctx, len(traces), workers, func(_ context.Context, i int) (job, error) {
-		reg := obs.NewRegistry()
-		sched := fault.Plan(cfg, seed+7919*int64(i), traces[i].Duration())
-		return job{res: SimulateTraceChaos(traces[i], p, &sched, reg), snap: reg.Snapshot()}, nil
+	run, err := runCorpus(TraceSlice(traces), corpusConfig{
+		ctx:          ctx,
+		chaos:        &chaosRun{cfg: cfg, seed: seed, params: p},
+		workers:      workers,
+		shardSize:    1,
+		keepPerTrace: true,
+		registry:     obs.Default(),
 	})
 	if err != nil {
-		return c, err
+		return ChaosCorpusResult{}, err
 	}
-	c.PerTrace = make([]ChaosTraceResult, len(outs))
-	snaps := make([]obs.Snapshot, len(outs))
-	for i, o := range outs {
-		c.PerTrace[i] = o.res
-		snaps[i] = o.snap
-	}
-	c.Metrics = obs.MergeAll(snaps)
-	obs.Default().Merge(c.Metrics)
-	var slots, off int
-	for i, r := range c.PerTrace {
-		slots += r.Slots
-		off += r.OffSlots
-		c.Outages += r.Outages
-		c.BlockedSlots += r.BlockedSlots
-		c.Handovers += r.Handovers
-		if i == 0 {
-			c.MinOnFraction, c.MaxOnFraction = r.OnFraction, r.OnFraction
-		} else {
-			if r.OnFraction < c.MinOnFraction {
-				c.MinOnFraction = r.OnFraction
-			}
-			if r.OnFraction > c.MaxOnFraction {
-				c.MaxOnFraction = r.OnFraction
-			}
-		}
-	}
-	if slots > 0 {
-		c.MeanOnFraction = 1 - float64(off)/float64(slots)
-	}
-	return c, nil
+	return ChaosCorpusResult{
+		PerTrace:       run.PerTrace,
+		MeanOnFraction: run.MeanOnFraction,
+		MinOnFraction:  run.MinOnFraction,
+		MaxOnFraction:  run.MaxOnFraction,
+		Outages:        run.Outages,
+		BlockedSlots:   run.BlockedSlots,
+		Handovers:      run.Handovers,
+		Metrics:        run.Metrics,
+	}, nil
 }

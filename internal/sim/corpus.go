@@ -1,0 +1,409 @@
+// The streaming corpus engine: the one entry point behind which the
+// historical SimulateCorpus / SimulateCorpusWorkers / SimulateChaosCorpus
+// triplet now sits. A corpus is an indexed CorpusSource — traces are
+// produced on demand, never materialized as a whole — cut into fixed-size
+// shards that fan out through parallel.MapCtx and reduce serially, in
+// shard order, into a running aggregate. The engine's contract:
+//
+//   - bit-identical results for any worker count (the shard partition is a
+//     function of the options alone, never of the worker count, and every
+//     reduction happens serially in shard order);
+//   - memory bounded: live heap is O(workers · shard), independent of
+//     corpus length, unless KeepPerTrace asks for the full per-trace slice;
+//   - resumable: the returned Checkpoint restarts the run mid-corpus
+//     (Resume + MaxShards) and the stitched result is bit-identical to the
+//     uninterrupted one.
+package sim
+
+import (
+	"context"
+	"fmt"
+
+	"cyclops/internal/fault"
+	"cyclops/internal/obs"
+	"cyclops/internal/parallel"
+	"cyclops/internal/trace"
+)
+
+// CorpusSource is an indexed stream of traces. At must be a pure function
+// of i — the engine calls it from worker goroutines and may call it again
+// for the same index on a resumed run. trace.Source generates the §5.4
+// synthetic corpus this way; TraceSlice adapts an already-materialized
+// slice.
+type CorpusSource interface {
+	// Len is the corpus size.
+	Len() int
+	// At returns trace i (0 ≤ i < Len). Must be pure and safe for
+	// concurrent calls.
+	At(i int) trace.Trace
+}
+
+// TraceSlice adapts a materialized []trace.Trace to CorpusSource.
+type TraceSlice []trace.Trace
+
+// Len returns the corpus size.
+func (s TraceSlice) Len() int { return len(s) }
+
+// At returns trace i.
+func (s TraceSlice) At(i int) trace.Trace { return s[i] }
+
+// Materialize realizes a source as a slice, generating traces across the
+// worker pool (≤ 0 means the parallel package default). Use it when an
+// experiment reuses the same corpus for several sweep cells; for a single
+// pass, stream the source through RunCorpus instead.
+func Materialize(src CorpusSource, workers int) []trace.Trace {
+	return parallel.Map(src.Len(), workers, src.At)
+}
+
+// CorpusChaos arms fault injection on a corpus run: trace i's schedule is
+// fault.Plan(Config, Seed + 7919·i, trace duration) — independent faults
+// per trace, the whole corpus a pure function of (Config, Seed).
+type CorpusChaos struct {
+	// Config sets the per-class fault rates and durations.
+	Config fault.Config
+	// Seed derives every per-trace schedule.
+	Seed int64
+	// Params are the chaos slot-model constants (blocking threshold,
+	// re-lock, TX count, handover). Validate defaults a zero value to
+	// PaperChaos25G and a zero embedded AvailabilityParams to the run's
+	// Params.
+	Params ChaosParams
+}
+
+// CorpusOptions configures RunCorpus. The zero value is valid: Paper25G
+// constants, no chaos, default workers, 64-trace shards, aggregate-only
+// results, metrics merged into obs.Default().
+type CorpusOptions struct {
+	// Context cancels the run between shard batches and inside the
+	// fan-out; nil means context.Background(). A canceled run returns the
+	// partial aggregate with a resumable Checkpoint alongside ctx's error.
+	Context context.Context
+	// Params are the §5.4 slot-model constants; the zero value means
+	// Paper25G().
+	Params AvailabilityParams
+	// Chaos, when non-nil, runs the chaos slot model with per-trace fault
+	// schedules instead of the clean one.
+	Chaos *CorpusChaos
+	// Workers is the fan-out width (≤ 0: the parallel package default;
+	// 1: the serial reference path). Any value yields bit-identical
+	// results.
+	Workers int
+	// ShardSize is the number of consecutive traces per shard (≤ 0: 64).
+	// The shard partition — not the worker count — is part of the
+	// result's identity: metric histogram sums are folded shard by shard,
+	// so changing ShardSize may flip last-bit float rounding while every
+	// integer aggregate stays identical.
+	ShardSize int
+	// KeepPerTrace retains the per-trace results (for CDFs and per-trace
+	// renders). Off, the run holds only O(workers · ShardSize) results at
+	// a time — the memory-bounded mode. On a resumed run PerTrace covers
+	// only the shards this call executed.
+	KeepPerTrace bool
+	// Registry receives the corpus's merged metrics once, when the run
+	// completes (Checkpoint.Done). nil means obs.Default(); pass a
+	// throwaway obs.NewRegistry() to keep a run out of the process
+	// registry.
+	Registry *obs.Registry
+	// Resume continues a previous run from its returned Checkpoint.
+	Resume Checkpoint
+	// MaxShards caps how many shards this call executes (0: no cap) —
+	// the checkpointing window for interruptible runs.
+	MaxShards int
+}
+
+// Validate fills defaults in place and rejects malformed options.
+func (o *CorpusOptions) Validate() error {
+	if o.Workers < 0 {
+		o.Workers = 0
+	}
+	if o.ShardSize < 0 {
+		return fmt.Errorf("sim: CorpusOptions.ShardSize %d is negative", o.ShardSize)
+	}
+	if o.ShardSize == 0 {
+		o.ShardSize = DefaultShardSize
+	}
+	if o.MaxShards < 0 {
+		return fmt.Errorf("sim: CorpusOptions.MaxShards %d is negative", o.MaxShards)
+	}
+	if o.Resume.NextShard < 0 {
+		return fmt.Errorf("sim: CorpusOptions.Resume.NextShard %d is negative", o.Resume.NextShard)
+	}
+	if o.Context == nil {
+		o.Context = context.Background()
+	}
+	if o.Params == (AvailabilityParams{}) {
+		o.Params = Paper25G()
+	}
+	if o.Registry == nil {
+		o.Registry = obs.Default()
+	}
+	if o.Chaos != nil {
+		if o.Chaos.Params == (ChaosParams{}) {
+			o.Chaos.Params = PaperChaos25G()
+		}
+		if o.Chaos.Params.AvailabilityParams == (AvailabilityParams{}) {
+			o.Chaos.Params.AvailabilityParams = o.Params
+		}
+	}
+	return nil
+}
+
+// DefaultShardSize is the shard width Validate applies when
+// CorpusOptions.ShardSize is zero.
+const DefaultShardSize = 64
+
+// CorpusAggregate is the running reduction of a corpus run — every field
+// folds associatively in shard order, so a resumed run accumulates into
+// the same values as an uninterrupted one.
+type CorpusAggregate struct {
+	// Traces, Slots, OffSlots total the corpus so far.
+	Traces   int
+	Slots    int
+	OffSlots int
+	// MeanOnFraction is 1 − OffSlots/Slots, recomputed after every fold.
+	MeanOnFraction float64
+	// MinOnFraction / MaxOnFraction bound the per-trace spread.
+	MinOnFraction, MaxOnFraction float64
+	// Outages, BlockedSlots, Handovers total the chaos bookkeeping (zero
+	// on clean runs).
+	Outages      int
+	BlockedSlots int
+	Handovers    int
+	// Metrics folds the per-trace observability snapshots — per trace
+	// within a shard, then shard by shard, always in index order.
+	Metrics obs.Snapshot
+}
+
+// addTrace folds one trace's result and metrics snapshot into the
+// aggregate. Serial use only.
+func (a *CorpusAggregate) addTrace(r ChaosTraceResult, snap obs.Snapshot) {
+	if a.Traces == 0 {
+		a.MinOnFraction, a.MaxOnFraction = r.OnFraction, r.OnFraction
+	} else {
+		if r.OnFraction < a.MinOnFraction {
+			a.MinOnFraction = r.OnFraction
+		}
+		if r.OnFraction > a.MaxOnFraction {
+			a.MaxOnFraction = r.OnFraction
+		}
+	}
+	a.Traces++
+	a.Slots += r.Slots
+	a.OffSlots += r.OffSlots
+	a.Outages += r.Outages
+	a.BlockedSlots += r.BlockedSlots
+	a.Handovers += r.Handovers
+	a.Metrics = a.Metrics.Merge(snap)
+}
+
+// merge folds a completed shard's aggregate in. Serial use only, shards in
+// index order.
+func (a *CorpusAggregate) merge(o CorpusAggregate) {
+	if o.Traces == 0 {
+		return
+	}
+	if a.Traces == 0 {
+		a.MinOnFraction, a.MaxOnFraction = o.MinOnFraction, o.MaxOnFraction
+	} else {
+		if o.MinOnFraction < a.MinOnFraction {
+			a.MinOnFraction = o.MinOnFraction
+		}
+		if o.MaxOnFraction > a.MaxOnFraction {
+			a.MaxOnFraction = o.MaxOnFraction
+		}
+	}
+	a.Traces += o.Traces
+	a.Slots += o.Slots
+	a.OffSlots += o.OffSlots
+	a.Outages += o.Outages
+	a.BlockedSlots += o.BlockedSlots
+	a.Handovers += o.Handovers
+	a.Metrics = a.Metrics.Merge(o.Metrics)
+}
+
+// finalize recomputes the derived mean. Idempotent.
+func (a *CorpusAggregate) finalize() {
+	a.MeanOnFraction = 0
+	if a.Slots > 0 {
+		a.MeanOnFraction = 1 - float64(a.OffSlots)/float64(a.Slots)
+	}
+}
+
+// Checkpoint marks how far a corpus run got. Feed it back through
+// CorpusOptions.Resume (same source, same options) to continue; the
+// stitched result is bit-identical to an uninterrupted run.
+type Checkpoint struct {
+	// NextShard is the first shard index not yet executed.
+	NextShard int
+	// Done reports that every shard has run.
+	Done bool
+	// Agg is the aggregate over shards [0, NextShard).
+	Agg CorpusAggregate
+}
+
+// CorpusRunResult is RunCorpus's outcome: the aggregate so far, the
+// resume checkpoint, and (with KeepPerTrace) the per-trace results of the
+// shards this call executed.
+type CorpusRunResult struct {
+	CorpusAggregate
+	Checkpoint Checkpoint
+	// PerTrace holds this call's per-trace results in trace order when
+	// KeepPerTrace is set (clean runs leave the chaos fields zero).
+	PerTrace []ChaosTraceResult
+}
+
+// RunCorpus streams a corpus through the sharded slot-model engine. It is
+// the single replacement for SimulateCorpus, SimulateCorpusWorkers, and
+// SimulateChaosCorpus: clean or chaos (Options.Chaos), any worker count
+// with bit-identical results, memory-bounded unless KeepPerTrace, and
+// resumable via the returned Checkpoint. On cancellation the partial
+// result and its Checkpoint are returned alongside the context's error.
+func RunCorpus(src CorpusSource, opts CorpusOptions) (CorpusRunResult, error) {
+	if err := opts.Validate(); err != nil {
+		return CorpusRunResult{}, err
+	}
+	cfg := corpusConfig{
+		ctx:          opts.Context,
+		params:       opts.Params,
+		workers:      opts.Workers,
+		shardSize:    opts.ShardSize,
+		keepPerTrace: opts.KeepPerTrace,
+		registry:     opts.Registry,
+		resume:       opts.Resume,
+		maxShards:    opts.MaxShards,
+	}
+	if opts.Chaos != nil {
+		cfg.chaos = &chaosRun{cfg: opts.Chaos.Config, seed: opts.Chaos.Seed, params: opts.Chaos.Params}
+	}
+	return runCorpus(src, cfg)
+}
+
+// corpusConfig is the fully resolved form of CorpusOptions. The deprecated
+// wrappers construct it directly, bypassing Validate's defaulting, so
+// their behavior is pinned to the historical one for every input.
+type corpusConfig struct {
+	ctx          context.Context
+	params       AvailabilityParams
+	chaos        *chaosRun
+	workers      int
+	shardSize    int
+	keepPerTrace bool
+	registry     *obs.Registry
+	resume       Checkpoint
+	maxShards    int
+}
+
+type chaosRun struct {
+	cfg    fault.Config
+	seed   int64
+	params ChaosParams
+}
+
+// shardOut is one shard's contribution, reduced serially by the caller.
+type shardOut struct {
+	agg      CorpusAggregate
+	perTrace []ChaosTraceResult
+}
+
+func runCorpus(src CorpusSource, cfg corpusConfig) (CorpusRunResult, error) {
+	ctx := cfg.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	n := src.Len()
+	shardSize := cfg.shardSize
+	if shardSize <= 0 {
+		shardSize = DefaultShardSize
+	}
+	nShards := (n + shardSize - 1) / shardSize
+
+	agg := cfg.resume.Agg
+	start := cfg.resume.NextShard
+	if start > nShards {
+		start = nShards
+	}
+	end := nShards
+	if cfg.maxShards > 0 && start+cfg.maxShards < end {
+		end = start + cfg.maxShards
+	}
+
+	res := CorpusRunResult{}
+	if cfg.keepPerTrace {
+		res.PerTrace = make([]ChaosTraceResult, 0, (end-start)*shardSize)
+	}
+
+	// Batches bound the in-flight shard results; the batch width affects
+	// only concurrency, never the reduction order, so it may derive from
+	// the worker count without breaking the determinism contract.
+	workers := cfg.workers
+	if workers <= 0 {
+		workers = parallel.DefaultWorkers()
+	}
+	batch := workers * 4
+	if batch < 16 {
+		batch = 16
+	}
+
+	finish := func(next int, err error) (CorpusRunResult, error) {
+		agg.finalize()
+		res.CorpusAggregate = agg
+		res.Checkpoint = Checkpoint{NextShard: next, Done: next == nShards, Agg: agg}
+		if err == nil && res.Checkpoint.Done && cfg.registry != nil {
+			cfg.registry.Merge(agg.Metrics)
+		}
+		return res, err
+	}
+
+	for lo := start; lo < end; lo += batch {
+		hi := lo + batch
+		if hi > end {
+			hi = end
+		}
+		outs, err := parallel.MapCtx(ctx, hi-lo, cfg.workers, func(_ context.Context, k int) (shardOut, error) {
+			shard := lo + k
+			tLo := shard * shardSize
+			tHi := tLo + shardSize
+			if tHi > n {
+				tHi = n
+			}
+			return runShard(src, cfg, tLo, tHi), nil
+		})
+		if err != nil {
+			return finish(lo, err)
+		}
+		for _, so := range outs {
+			agg.merge(so.agg)
+			if cfg.keepPerTrace {
+				res.PerTrace = append(res.PerTrace, so.perTrace...)
+			}
+		}
+	}
+	return finish(end, nil)
+}
+
+// runShard simulates traces [lo, hi) serially and folds them — results and
+// per-trace metric snapshots alike — in trace order.
+func runShard(src CorpusSource, cfg corpusConfig, lo, hi int) shardOut {
+	var out shardOut
+	if cfg.keepPerTrace {
+		out.perTrace = make([]ChaosTraceResult, 0, hi-lo)
+	}
+	for i := lo; i < hi; i++ {
+		tr := src.At(i)
+		reg := obs.NewRegistry()
+		var r ChaosTraceResult
+		if cfg.chaos != nil {
+			sched := fault.Plan(cfg.chaos.cfg, cfg.chaos.seed+7919*int64(i), tr.Duration())
+			r = SimulateTraceChaos(tr, cfg.chaos.params, &sched, reg)
+		} else {
+			// The clean path keeps the event-driven fast loop — the chaos
+			// per-slot loop is never paid without a schedule.
+			r = ChaosTraceResult{TraceResult: SimulateTraceObs(tr, cfg.params, reg)}
+		}
+		out.agg.addTrace(r, reg.Snapshot())
+		if cfg.keepPerTrace {
+			out.perTrace = append(out.perTrace, r)
+		}
+	}
+	return out
+}

@@ -393,18 +393,57 @@ func sign(rng *rand.Rand) float64 {
 	return 1
 }
 
-// Dataset generates the full 500-trace corpus the §5.4 evaluation uses:
-// 50 viewers × 10 one-minute videos. Generation fans out across
-// parallel.DefaultWorkers() workers; each trace derives its RNG from
-// (seed, index) alone, so any worker count yields the identical corpus.
+// DatasetTraces is the §5.4 corpus size: 50 viewers × 10 one-minute
+// videos.
+const DatasetTraces = 500
+
+// Source is a streaming corpus: trace i is Generate(Seed, i, Length,
+// origin), produced on demand. It satisfies sim.CorpusSource, so a corpus
+// of any size runs through the sharded engine without ever being held in
+// memory. Len and At are pure functions of the fields — safe for
+// concurrent use and for re-generation on resumed runs.
+type Source struct {
+	// Seed derives every trace's RNG (with the index).
+	Seed int64
+	// N is the corpus size.
+	N int
+	// Length is each trace's duration.
+	Length time.Duration
+	// Origin is the head position every trace wanders around.
+	Origin geom.Vec3
+	// OriginAt, when non-nil, gives trace i its own origin (the arena's
+	// floor grid) and Origin is ignored. Must be pure in i.
+	OriginAt func(i int) geom.Vec3
+}
+
+// Len returns the corpus size.
+func (s Source) Len() int { return s.N }
+
+// At generates trace i.
+func (s Source) At(i int) Trace {
+	origin := s.Origin
+	if s.OriginAt != nil {
+		origin = s.OriginAt(i)
+	}
+	return Generate(s.Seed, i, s.Length, origin)
+}
+
+// Dataset generates the full 500-trace corpus the §5.4 evaluation uses.
+// Each trace derives its RNG from (seed, index) alone, so any worker
+// count yields the identical corpus.
+//
+// Deprecated: construct a Source (N: DatasetTraces, Length: time.Minute)
+// and stream it through sim.RunCorpus — or sim.Materialize it when a
+// materialized slice is genuinely needed.
 func Dataset(seed int64, origin geom.Vec3) []Trace {
 	return DatasetWorkers(seed, origin, 0)
 }
 
 // DatasetWorkers is Dataset with an explicit worker count (≤ 0 means the
 // parallel package default, 1 forces the serial path).
+//
+// Deprecated: see Dataset.
 func DatasetWorkers(seed int64, origin geom.Vec3, workers int) []Trace {
-	return parallel.Map(500, workers, func(i int) Trace {
-		return Generate(seed, i, time.Minute, origin)
-	})
+	src := Source{Seed: seed, N: DatasetTraces, Length: time.Minute, Origin: origin}
+	return parallel.Map(src.Len(), workers, src.At)
 }

@@ -38,6 +38,29 @@ func NotHot(n int) []int {
 	return append([]int{}, n)
 }
 
+var errPrebuilt = fmt.Errorf("prebuilt")
+
+// BatchFill is the SoA batch-kernel shape (gma.BeamBatch,
+// geom.PosesFromEulerBatch): caller-owned parallel slices written in
+// place, including prebuilt error values stored into an error slice.
+// Writes through slice parameters are not allocations and must stay
+// clean — only the creation of the buffers is hot-path-hostile, and that
+// happens at the caller.
+//
+//cyclops:hotpath fixture
+func BatchFill(dst []int, errs []error, src []int) {
+	out := dst[:len(src)]
+	for i := range src {
+		if src[i] < 0 {
+			out[i] = 0
+			errs[i] = errPrebuilt
+			continue
+		}
+		out[i] = src[i] * 2
+		errs[i] = nil
+	}
+}
+
 // Allowed suppresses a justified allocation.
 //
 //cyclops:hotpath fixture

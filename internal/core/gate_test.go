@@ -1,0 +1,128 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"cyclops/internal/geom"
+	"cyclops/internal/link"
+	"cyclops/internal/motion"
+	"cyclops/internal/optics"
+)
+
+// gateProg is a slow stroke with dwells: motion segments fast enough to
+// defeat the gate's cone, separated by near-static dwells the gate can
+// answer without solving.
+func gateProg() motion.Program {
+	return motion.LinearStrokes{
+		Base:       link.DefaultHeadsetPose(),
+		Axis:       geom.V(1, 0, 0),
+		HalfTravel: 0.10,
+		StartSpeed: 0.10,
+		SpeedStep:  0,
+		Strokes:    2,
+		Dwell:      300 * time.Millisecond,
+	}
+}
+
+// TestSolveGateDisabledBitIdentical pins the opt-out contract: with the
+// gate left at its zero value (and with Enable false but nonsense
+// thresholds that must be ignored), a run is byte-identical to the
+// historical loop — same samples, same pointing counts, no skips.
+func TestSolveGateDisabledBitIdentical(t *testing.T) {
+	run := func(gate SolveGateOptions) RunResult {
+		t.Helper()
+		s := oracleSystem(optics.Diverging10G16mm, 11)
+		res, err := s.Run(RunOptions{Program: gateProg(), SolveGate: gate})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	base := run(SolveGateOptions{})
+	off := run(SolveGateOptions{Enable: false, MaxTrans: 5, MaxAngle: 5})
+
+	if base.SolvesSkipped != 0 || off.SolvesSkipped != 0 {
+		t.Fatalf("disabled gate skipped solves: %d / %d", base.SolvesSkipped, off.SolvesSkipped)
+	}
+	if base.Points != off.Points || base.PointFailures != off.PointFailures ||
+		base.TotalPointIters != off.TotalPointIters ||
+		base.TotalGPrimeIters != off.TotalGPrimeIters ||
+		base.Disconnections != off.Disconnections ||
+		math.Float64bits(base.UpFraction) != math.Float64bits(off.UpFraction) {
+		t.Fatalf("disabled gate changed the run:\n  base %+v\n  off  %+v", base, off)
+	}
+	if len(base.Samples) != len(off.Samples) {
+		t.Fatalf("sample count differs: %d vs %d", len(base.Samples), len(off.Samples))
+	}
+	for i := range base.Samples {
+		if base.Samples[i] != off.Samples[i] {
+			t.Fatalf("sample %d differs:\n  base %+v\n  off  %+v", i, base.Samples[i], off.Samples[i])
+		}
+	}
+}
+
+// TestSolveGateSkipsNearStaticReports checks the gate earns its keep
+// without hurting the link: during the dwells the pose moves less than
+// the cone, those reports are answered without a P solve (counted in
+// both RunResult and the cyclops_pointing_solves_skipped_total counter),
+// and the link holds because the last accepted command is still inside
+// the beam's capture tolerance.
+func TestSolveGateSkipsNearStaticReports(t *testing.T) {
+	base := func() RunResult {
+		s := oracleSystem(optics.Diverging10G16mm, 11)
+		res, err := s.Run(RunOptions{Program: gateProg()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}()
+
+	s := oracleSystem(optics.Diverging10G16mm, 11)
+	res, err := s.Run(RunOptions{Program: gateProg(), SolveGate: SolveGateOptions{Enable: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SolvesSkipped == 0 {
+		t.Fatal("gate enabled over 600 ms of dwells yet skipped nothing")
+	}
+	if got := res.Metrics.Counters["cyclops_pointing_solves_skipped_total"]; got != float64(res.SolvesSkipped) {
+		t.Errorf("skip counter = %v, want %d", got, res.SolvesSkipped)
+	}
+	if res.Points >= base.Points {
+		t.Errorf("gated run solved %d times, ungated %d — gate saved nothing", res.Points, base.Points)
+	}
+	if res.Points+res.SolvesSkipped != base.Points {
+		t.Errorf("solves (%d) + skips (%d) != ungated solves (%d): reports went missing",
+			res.Points, res.SolvesSkipped, base.Points)
+	}
+	if res.UpFraction < 0.98 {
+		t.Errorf("gated up fraction = %v — skipping in-cone solves broke the link", res.UpFraction)
+	}
+}
+
+// TestSolveGateValidate: enabled gates must carry sane thresholds; a
+// disabled gate's thresholds are never consulted.
+func TestSolveGateValidate(t *testing.T) {
+	prog := motion.Static{P: link.DefaultHeadsetPose(), Len: time.Second}
+	cases := []struct {
+		name string
+		gate SolveGateOptions
+		ok   bool
+	}{
+		{"zero value", SolveGateOptions{}, true},
+		{"enabled defaults", SolveGateOptions{Enable: true}, true},
+		{"enabled explicit", SolveGateOptions{Enable: true, MaxTrans: 1e-3, MaxAngle: 2e-3}, true},
+		{"NaN trans", SolveGateOptions{Enable: true, MaxTrans: math.NaN()}, false},
+		{"inf angle", SolveGateOptions{Enable: true, MaxAngle: math.Inf(1)}, false},
+		{"negative trans", SolveGateOptions{Enable: true, MaxTrans: -1}, false},
+		{"disabled garbage ignored", SolveGateOptions{MaxTrans: math.NaN(), MaxAngle: -1}, true},
+	}
+	for _, c := range cases {
+		err := RunOptions{Program: prog, SolveGate: c.gate}.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"cyclops/internal/fault"
+	"cyclops/internal/geom"
 	"cyclops/internal/gma"
 	"cyclops/internal/link"
 	"cyclops/internal/motion"
@@ -55,6 +56,15 @@ type RunOptions struct {
 	// Recovery tunes the supervisor; the zero value means the documented
 	// defaults. Consulted only when Faults is armed.
 	Recovery RecoveryOptions
+	// SolveGate, when enabled, arms pose-delta solver gating: a tracking
+	// report whose pose has moved less than the gate's tolerance cone
+	// since the last accepted solve skips the full P iteration and lets
+	// the in-flight (or settled) mirror command stand. Off by default —
+	// the zero value runs every report through P, bit-identical to the
+	// historical loop; enabling it trades bounded extra pointing error
+	// (below the beam's own capture tolerance when the cone is set
+	// sanely) for skipped solves on near-static poses.
+	SolveGate SolveGateOptions
 	// Handover, when non-nil, arms make-before-break multi-TX recovery:
 	// standby ceiling transmitters are kept pre-pointed and the run
 	// switches to the best clear one when the active path goes dark,
@@ -63,6 +73,34 @@ type RunOptions struct {
 	// without faults there is nothing to recover from). Default (nil):
 	// single-TX, bit-identical to the historical run loop.
 	Handover *HandoverOptions
+}
+
+// SolveGateOptions configure pose-delta solver gating
+// (RunOptions.SolveGate). The zero value of each threshold means "use
+// the documented default"; the zero value of the whole struct leaves
+// gating disabled.
+type SolveGateOptions struct {
+	// Enable arms the gate. Default false: every tracking report runs
+	// the full P iteration (the historical behavior).
+	Enable bool
+	// MaxTrans is the translation delta (meters) below which a report is
+	// considered inside the tolerance cone (default 0.5 mm — well under
+	// the millimeter-scale lateral capture tolerance of §5.4, so a
+	// skipped solve cannot by itself walk the beam off the aperture).
+	MaxTrans float64
+	// MaxAngle is the rotation delta (radians) below which a report is
+	// inside the cone (default 1 mrad, the same order as the solver's
+	// own voltage tolerance mapped through the mirror gain).
+	MaxAngle float64
+}
+
+func (o *SolveGateOptions) defaults() {
+	if o.MaxTrans <= 0 {
+		o.MaxTrans = 0.5e-3
+	}
+	if o.MaxAngle <= 0 {
+		o.MaxAngle = 1e-3
+	}
 }
 
 // HandoverOptions configure the multi-TX recovery path. The zero value of
@@ -141,6 +179,13 @@ func (o RunOptions) Validate() error {
 			}
 		}
 	}
+	if g := o.SolveGate; g.Enable {
+		if math.IsNaN(g.MaxTrans) || math.IsInf(g.MaxTrans, 0) || g.MaxTrans < 0 ||
+			math.IsNaN(g.MaxAngle) || math.IsInf(g.MaxAngle, 0) || g.MaxAngle < 0 {
+			return fmt.Errorf("core: invalid RunOptions: SolveGate thresholds (%v m, %v rad) must be finite and non-negative",
+				g.MaxTrans, g.MaxAngle)
+		}
+	}
 	if h := o.Handover; h != nil {
 		if len(h.Standbys) == 0 {
 			return fmt.Errorf("core: invalid RunOptions: Handover armed with no standby TXs")
@@ -198,6 +243,10 @@ type RunResult struct {
 	PointFailures    int
 	TotalPointIters  int
 	TotalGPrimeIters int
+	// SolvesSkipped counts tracking reports the pose-delta gate answered
+	// without a P solve. Always zero unless RunOptions.SolveGate is
+	// enabled.
+	SolvesSkipped int
 	// TPLatency is the realignment latency applied after each report
 	// (DAQ + mirror settle), as measured from the devices.
 	MeanTPLatency time.Duration
@@ -338,10 +387,15 @@ func (s *System) Run(opts RunOptions) (RunResult, error) {
 	}
 	// The TX model does not depend on the headset pose: compile it once
 	// and every P solve of the run reuses the precomputed form.
+	gate := opts.SolveGate
+	if gate.Enable {
+		gate.defaults()
+	}
 	l := &runLoop{
 		s:           s,
 		opts:        opts,
 		tick:        tick,
+		gate:        gate,
 		sampleEvery: sampleEvery,
 		rm:          rm,
 		mon:         mon,
@@ -441,6 +495,14 @@ type runLoop struct {
 	lastV      pointing.Voltages
 	nextReport time.Duration
 	nextSample time.Duration
+
+	// Pose-delta solver gating (RunOptions.SolveGate): the pose of the
+	// last accepted solve, valid while haveSolvedPose. A report inside
+	// the gate's tolerance cone of solvedPose skips the P iteration.
+	gate           SolveGateOptions
+	solvedPose     geom.Pose
+	haveSolvedPose bool
+
 	upTicks    int
 	totalTicks int
 	latencySum time.Duration
@@ -570,6 +632,21 @@ func (l *runLoop) step(at time.Duration) {
 				}
 			}
 		default:
+			// Pose-delta gate: if the reported pose sits inside the
+			// tolerance cone of the last accepted solve, the settled
+			// (or in-flight) mirror command is still within the beam's
+			// capture tolerance — answer the report without a solve.
+			// Checked only on the model-based path, after the failure
+			// and backoff cases above, so recovery is never starved.
+			if l.gate.Enable && l.haveSolvedPose {
+				lin, ang := rep.Pose.Delta(l.solvedPose)
+				if lin <= l.gate.MaxTrans && ang <= l.gate.MaxAngle {
+					l.rm.reports.Inc()
+					l.rm.solvesSkipped.Inc()
+					l.res.SolvesSkipped++
+					break
+				}
+			}
 			// The RX model rides on the headset: transformed and
 			// compiled once per report, then shared by every Beam
 			// evaluation inside the solve.
@@ -599,6 +676,7 @@ func (l *runLoop) step(at time.Duration) {
 				l.latencyN++
 				l.pendingV = pres.V
 				l.pendingAt = at + lat
+				l.solvedPose, l.haveSolvedPose = rep.Pose, true
 				if l.sup != nil {
 					l.sup.SolveOK(pres.V)
 				}
@@ -712,10 +790,11 @@ func (r *reportRing) back() vrh.Report {
 // stream totals) are registered by their own packages into the same
 // registry.
 type runMetrics struct {
-	ticks   *obs.Counter
-	upTicks *obs.Counter
-	reports *obs.Counter
-	repoint *obs.Histogram
+	ticks         *obs.Counter
+	upTicks       *obs.Counter
+	reports       *obs.Counter
+	solvesSkipped *obs.Counter
+	repoint       *obs.Histogram
 }
 
 func newRunMetrics(reg *obs.Registry) runMetrics {
@@ -726,6 +805,8 @@ func newRunMetrics(reg *obs.Registry) runMetrics {
 			"Ticks with the link up (SFP locked)."),
 		reports: reg.Counter("cyclops_run_reports_total",
 			"Tracking reports processed (the 12-13 ms VRH-T cadence unless overridden)."),
+		solvesSkipped: reg.Counter("cyclops_pointing_solves_skipped_total",
+			"Tracking reports answered by the pose-delta gate without a P solve (RunOptions.SolveGate)."),
 		repoint: reg.Histogram("cyclops_run_repoint_latency_seconds",
 			"Realignment latency per report: DAQ write + mirror settle (paper: 1-2 ms).",
 			[]float64{0.0005, 0.001, 0.00125, 0.0015, 0.00175, 0.002, 0.0025, 0.003, 0.005, 0.01}),

@@ -1,0 +1,30 @@
+package geom
+
+// PosesFromEulerBatch writes NewPose(QuatFromEuler(yaw[i], pitch[i],
+// roll[i]), pos[i]) into out[i] for every i in out — the generic SoA form
+// of batched pose construction. The trace synthesizer fuses this exact
+// per-element chain into its own sample-store loop (writing a staging
+// []Pose only to copy it out cost a 64-byte store+load per sample); the
+// kernel remains for callers that want poses in a plain slice. The four
+// input slices must be at least len(out) long; the caller owns every
+// buffer and the kernel allocates nothing.
+//
+// The per-element body is the scalar call chain itself, so each output
+// is bit-for-bit the one the scalar path produces
+// (TestPosesFromEulerBatchBitIdentical pins this). The batch form's win
+// is structural, not numerical: the bounds hints below lift the slice
+// checks out of the loop, and the independent per-element chains sit
+// adjacent for the out-of-order core to overlap. (A fully flattened
+// body — QuatFromEuler and Normalize inlined by hand — benchmarked no
+// faster than the call chain and was dropped.)
+//
+//cyclops:hotpath
+func PosesFromEulerBatch(out []Pose, yaw, pitch, roll []float64, pos []Vec3) {
+	_ = yaw[len(out)-1]
+	_ = pitch[len(out)-1]
+	_ = roll[len(out)-1]
+	_ = pos[len(out)-1]
+	for i := range out {
+		out[i] = NewPose(QuatFromEuler(yaw[i], pitch[i], roll[i]), pos[i])
+	}
+}

@@ -1,0 +1,111 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestPosesFromEulerBatchBitIdentical pins the SoA kernel to the scalar
+// NewPose(QuatFromEuler(...)) path bit for bit, including specials (±0
+// angles, exact-π multiples, values large enough to exercise the sincos
+// Payne–Hanek fallback) and degenerate zero-norm inputs.
+func TestPosesFromEulerBatchBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const batch = 97 // deliberately not a power of two
+	yaw := make([]float64, batch)
+	pitch := make([]float64, batch)
+	roll := make([]float64, batch)
+	pos := make([]Vec3, batch)
+	out := make([]Pose, batch)
+
+	specials := []float64{0, math.Copysign(0, -1), math.Pi, -math.Pi, math.Pi / 2, 1e9, -1e9, 5e-324}
+	for round := 0; round < 200; round++ {
+		for i := 0; i < batch; i++ {
+			if i%13 == 0 {
+				yaw[i] = specials[(round+i)%len(specials)]
+				pitch[i] = specials[(round+2*i)%len(specials)]
+				roll[i] = specials[(round+3*i)%len(specials)]
+			} else {
+				yaw[i] = (rng.Float64() - 0.5) * 8
+				pitch[i] = (rng.Float64() - 0.5) * 4
+				roll[i] = (rng.Float64() - 0.5) * 2
+			}
+			pos[i] = V(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64())
+		}
+		PosesFromEulerBatch(out, yaw, pitch, roll, pos)
+		for i := 0; i < batch; i++ {
+			want := NewPose(QuatFromEuler(yaw[i], pitch[i], roll[i]), pos[i])
+			if !posesBitEqual(out[i], want) {
+				t.Fatalf("round %d elem %d (yaw=%g pitch=%g roll=%g): got %+v want %+v",
+					round, i, yaw[i], pitch[i], roll[i], out[i], want)
+			}
+		}
+	}
+}
+
+func posesBitEqual(a, b Pose) bool {
+	eq := func(x, y float64) bool { return math.Float64bits(x) == math.Float64bits(y) }
+	return eq(a.Rot.W, b.Rot.W) && eq(a.Rot.X, b.Rot.X) && eq(a.Rot.Y, b.Rot.Y) && eq(a.Rot.Z, b.Rot.Z) &&
+		eq(a.Trans.X, b.Trans.X) && eq(a.Trans.Y, b.Trans.Y) && eq(a.Trans.Z, b.Trans.Z)
+}
+
+// TestPosesFromEulerBatchZeroAllocs pins the kernel at zero allocations.
+func TestPosesFromEulerBatchZeroAllocs(t *testing.T) {
+	const batch = 64
+	yaw := make([]float64, batch)
+	pitch := make([]float64, batch)
+	roll := make([]float64, batch)
+	pos := make([]Vec3, batch)
+	out := make([]Pose, batch)
+	for i := range yaw {
+		yaw[i] = float64(i) * 0.01
+		pitch[i] = float64(i) * -0.005
+		roll[i] = float64(i) * 0.002
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		PosesFromEulerBatch(out, yaw, pitch, roll, pos)
+	}); n != 0 {
+		t.Fatalf("PosesFromEulerBatch allocates %v per run, want 0", n)
+	}
+}
+
+func BenchmarkPosesFromEulerBatch(b *testing.B) {
+	const batch = 64
+	yaw := make([]float64, batch)
+	pitch := make([]float64, batch)
+	roll := make([]float64, batch)
+	pos := make([]Vec3, batch)
+	out := make([]Pose, batch)
+	rng := rand.New(rand.NewSource(5))
+	for i := range yaw {
+		yaw[i] = (rng.Float64() - 0.5) * 8
+		pitch[i] = (rng.Float64() - 0.5) * 4
+		roll[i] = (rng.Float64() - 0.5) * 2
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PosesFromEulerBatch(out, yaw, pitch, roll, pos)
+	}
+}
+
+func BenchmarkPosesFromEulerScalar(b *testing.B) {
+	const batch = 64
+	yaw := make([]float64, batch)
+	pitch := make([]float64, batch)
+	roll := make([]float64, batch)
+	pos := make([]Vec3, batch)
+	out := make([]Pose, batch)
+	rng := rand.New(rand.NewSource(5))
+	for i := range yaw {
+		yaw[i] = (rng.Float64() - 0.5) * 8
+		pitch[i] = (rng.Float64() - 0.5) * 4
+		roll[i] = (rng.Float64() - 0.5) * 2
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for k := 0; k < batch; k++ {
+			out[k] = NewPose(QuatFromEuler(yaw[k], pitch[k], roll[k]), pos[k])
+		}
+	}
+}

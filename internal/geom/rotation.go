@@ -3,6 +3,8 @@ package geom
 import (
 	"fmt"
 	"math"
+
+	"cyclops/internal/xmath"
 )
 
 // Mat3 is a 3×3 matrix in row-major order. It is primarily used for
@@ -127,9 +129,9 @@ func QuatFromAxisAngle(axis Vec3, theta float64) Quat {
 // once per sample, and the §5.4 corpus is pinned to byte-identical
 // output. TestQuatFromEulerBitIdentical enforces the equivalence.
 func QuatFromEuler(yaw, pitch, roll float64) Quat {
-	sy, cy := math.Sincos(yaw / 2)
-	sx, cx := math.Sincos(pitch / 2)
-	sz, cz := math.Sincos(roll / 2)
+	// xmath.Sincos3 is bit-identical to three math.Sincos calls but
+	// evaluates the independent chains in one frame (see its doc).
+	sy, cy, sx, cx, sz, cz := xmath.Sincos3(yaw/2, pitch/2, roll/2)
 	// ±0 terms exactly as the generic path produces them (u.X*s etc.).
 	zy, zx, zz := 0*sy, 0*sx, 0*sz
 
@@ -258,7 +260,9 @@ func AngleBetweenNormalized(a, b Quat) float64 {
 	if w > 1 {
 		w = 1
 	}
-	return 2 * math.Acos(w)
+	// xmath.Acos is math.Acos with the asin/satan call plumbing
+	// flattened — bit-identical (see its doc and equality test).
+	return 2 * xmath.Acos(w)
 }
 
 // Slerp spherically interpolates from q to r by t in [0,1].

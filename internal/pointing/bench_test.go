@@ -41,6 +41,25 @@ func TestGPrimeCompiledZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestGPrimeCompiledColdZeroAllocs pins the contract on the cold-start
+// path too: a start far from the target forces the batched 9×9 coarse
+// seed (81 evaluations through one BeamBatch call over stack buffers),
+// which must stay as allocation-free as the warm path.
+func TestGPrimeCompiledColdZeroAllocs(t *testing.T) {
+	ct, _, _, tau := warmFixture(t)
+	const cold1, cold2 = 8.0, -8.0
+	if b, err := ct.Beam(cold1, cold2); err == nil && b.DistanceTo(tau) <= 0.1 {
+		t.Fatalf("start (%v, %v) is not cold: beam already within 0.1 m of tau", cold1, cold2)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if _, _, _, err := GPrimeCompiled(&ct, tau, cold1, cold2, GPrimeOptions{}); err != nil {
+			t.Fatalf("cold GPrime failed: %v", err)
+		}
+	}); n != 0 {
+		t.Fatalf("cold GPrimeCompiled allocates %v per solve, want 0", n)
+	}
+}
+
 // TestPointCompiledZeroAllocs extends the contract to a full warm P solve
 // (metrics disabled — a nil *Metrics is the hot default inside tight
 // loops that attach their own registries).

@@ -59,6 +59,21 @@ func (o *GPrimeOptions) defaults() {
 	}
 }
 
+// Validate rejects option sets the defaulting pass cannot repair. Tol
+// must be a finite, non-negative voltage step: zero means "use the
+// default", but a NaN or ±Inf Tol compares false against every step
+// magnitude, which would silently disable (or trivially satisfy) the
+// convergence test and burn MaxIter evaluations per solve; a negative
+// Tol is a contradiction, not a default request. The solvers call this
+// at the door, so a poisoned tolerance fails fast instead of shaping
+// every subsequent solve.
+func (o GPrimeOptions) Validate() error {
+	if !finite(o.Tol) || o.Tol < 0 {
+		return fmt.Errorf("pointing: invalid GPrimeOptions: Tol %v (want a finite, non-negative voltage step; 0 means default)", o.Tol)
+	}
+	return nil
+}
+
 // ErrNoConverge is returned when an iteration exhausts MaxIter without the
 // update falling below tolerance.
 var ErrNoConverge = errors.New("pointing: iteration did not converge")
@@ -105,6 +120,9 @@ func GPrimeCompiled(model *gma.Compiled, tau geom.Vec3, v1, v2 float64, opts GPr
 // model evaluations (G calls) the solve consumed, which the P solver
 // aggregates into the cyclops_pointing_beam_evals_total counter.
 func gprime(model *gma.Compiled, tau geom.Vec3, v1, v2 float64, opts GPrimeOptions) (float64, float64, int, int, error) {
+	if err := opts.Validate(); err != nil {
+		return v1, v2, 0, 0, err
+	}
 	opts.defaults()
 
 	if !tau.Finite() {
@@ -137,13 +155,40 @@ func gprime(model *gma.Compiled, tau geom.Vec3, v1, v2 float64, opts GPrimeOptio
 		b0, haveB0 = b, true
 	}
 
+	// SoA probe workspace: up to three voltage pairs per iteration
+	// (current point, +ε on v1, +ε on v2) evaluated through a single
+	// BeamBatch call, so the model loads are paid once per iteration
+	// instead of once per evaluation. The arrays live on this frame —
+	// BeamBatch only writes through the slices, so nothing escapes and
+	// the solver's zero-allocation contract holds.
+	var (
+		pv1, pv2   [3]float64
+		porg, pdir [3]geom.Vec3
+		perr       [3]error
+	)
+	probes := gma.BeamBatchBuf{V2: pv2[:], Origin: porg[:], Dir: pdir[:], Err: perr[:]}
+
 	var lastStep1, lastStep2 float64
 	for iter := 1; iter <= opts.MaxIter; iter++ {
+		// Pack the iteration's probes: slot k is the first Jacobian
+		// probe (b0 occupies slot 0 only when it must be recomputed).
+		k := 0
 		if !haveB0 {
-			var err error
-			b0, err = model.Beam(v1, v2)
+			pv1[0], pv2[0] = v1, v2
+			k = 1
+		}
+		pv1[k], pv2[k] = v1+opts.Epsilon, v2
+		pv1[k+1], pv2[k+1] = v1, v2+opts.Epsilon
+		probes.V1 = pv1[:k+2]
+		model.BeamBatch(&probes)
+
+		// Unwind the batch with the scalar path's exact accounting: an
+		// evaluation the sequential code would never have reached (a
+		// probe after an earlier error) is not counted, so the
+		// cyclops_pointing_beam_evals_total stream is unchanged.
+		if !haveB0 {
 			beamEvals++
-			if err != nil {
+			if err := perr[0]; err != nil {
 				// The last step carried the beam outside its own
 				// assembly's geometry — back off half of it and retry.
 				if lastStep1 != 0 || lastStep2 != 0 {
@@ -155,18 +200,19 @@ func gprime(model *gma.Compiled, tau geom.Vec3, v1, v2 float64, opts GPrimeOptio
 				}
 				return v1, v2, iter, beamEvals, fmt.Errorf("pointing: %w", err)
 			}
+			b0 = probes.Ray(0)
 		}
 		haveB0 = false
-		b1, err := model.Beam(v1+opts.Epsilon, v2)
 		beamEvals++
-		if err != nil {
+		if err := perr[k]; err != nil {
 			return v1, v2, iter, beamEvals, fmt.Errorf("pointing: %w", err)
 		}
-		b2, err := model.Beam(v1, v2+opts.Epsilon)
+		b1 := probes.Ray(k)
 		beamEvals++
-		if err != nil {
+		if err := perr[k+1]; err != nil {
 			return v1, v2, iter, beamEvals, fmt.Errorf("pointing: %w", err)
 		}
+		b2 := probes.Ray(k + 1)
 
 		// Plane through τ perpendicular to the current beam direction.
 		plane := geom.NewPlane(tau, b0.Dir)
@@ -224,29 +270,45 @@ func clampAbs(v, limit float64) float64 {
 
 // coarseSeed scans a 9×9 voltage grid over ±0.8·limit and returns the pair
 // whose beam passes closest to tau (plus the number of model evaluations
-// spent), or ok=false if no grid point produces a valid beam.
+// spent), or ok=false if no grid point produces a valid beam. The whole
+// sweep is one BeamBatch call over stack-resident SoA buffers: the grid
+// fill, the 81 evaluations, and the argmin scan are separated so the
+// kernel loop carries no selection branches, while the scan visits the
+// results in the exact row-major order the sequential loop compared them
+// in (same best-so-far tie behavior, same floats).
 func coarseSeed(model *gma.Compiled, tau geom.Vec3, limit float64) (float64, float64, int, bool) {
 	const n = 9
 	span := 0.8 * limit
-	best1, best2 := 0.0, 0.0
-	bestD := -1.0
-	evals := 0
+
+	var (
+		v1a, v2a   [n * n]float64
+		orga, dira [n * n]geom.Vec3
+		erra       [n * n]error
+	)
+	k := 0
 	for i := 0; i < n; i++ {
 		v1 := -span + 2*span*float64(i)/(n-1)
 		for j := 0; j < n; j++ {
-			v2 := -span + 2*span*float64(j)/(n-1)
-			b, err := model.Beam(v1, v2)
-			evals++
-			if err != nil {
-				continue
-			}
-			d := b.DistanceTo(tau)
-			if bestD < 0 || d < bestD {
-				bestD, best1, best2 = d, v1, v2
-			}
+			v1a[k] = v1
+			v2a[k] = -span + 2*span*float64(j)/(n-1)
+			k++
 		}
 	}
-	return best1, best2, evals, bestD >= 0
+	buf := gma.BeamBatchBuf{V1: v1a[:], V2: v2a[:], Origin: orga[:], Dir: dira[:], Err: erra[:]}
+	model.BeamBatch(&buf)
+
+	best1, best2 := 0.0, 0.0
+	bestD := -1.0
+	for k := 0; k < n*n; k++ {
+		if erra[k] != nil {
+			continue
+		}
+		d := buf.Ray(k).DistanceTo(tau)
+		if bestD < 0 || d < bestD {
+			bestD, best1, best2 = d, v1a[k], v2a[k]
+		}
+	}
+	return best1, best2, n * n, bestD >= 0
 }
 
 func abs(x float64) float64 {

@@ -1,0 +1,68 @@
+package pointing
+
+import (
+	"math"
+	"testing"
+)
+
+// TestOptionsValidateTol pins the regression the Validate gate exists
+// for: a NaN Tol used to slip through the `Tol <= 0` defaulting (NaN
+// compares false against everything), leaving a tolerance that no step
+// magnitude could ever satisfy — every solve silently burned MaxIter
+// iterations and returned ErrNoConverge. Non-finite and negative
+// tolerances must now be rejected at the door by both option types and
+// both solver entry points.
+func TestOptionsValidateTol(t *testing.T) {
+	bad := []float64{math.NaN(), math.Inf(1), math.Inf(-1), -0.3e-3, -1}
+	good := []float64{0, 0.3e-3, 1e-6}
+
+	for _, tol := range bad {
+		if err := (GPrimeOptions{Tol: tol}).Validate(); err == nil {
+			t.Errorf("GPrimeOptions{Tol: %v}.Validate() = nil, want error", tol)
+		}
+		if err := (PointOptions{Tol: tol}).Validate(); err == nil {
+			t.Errorf("PointOptions{Tol: %v}.Validate() = nil, want error", tol)
+		}
+		// A bad G′ Tol must fail PointOptions validation too (the P
+		// solver hands its GPrime options to every inner solve).
+		if err := (PointOptions{GPrime: GPrimeOptions{Tol: tol}}).Validate(); err == nil {
+			t.Errorf("PointOptions{GPrime.Tol: %v}.Validate() = nil, want error", tol)
+		}
+	}
+	for _, tol := range good {
+		if err := (GPrimeOptions{Tol: tol}).Validate(); err != nil {
+			t.Errorf("GPrimeOptions{Tol: %v}.Validate() = %v, want nil", tol, err)
+		}
+		if err := (PointOptions{Tol: tol}).Validate(); err != nil {
+			t.Errorf("PointOptions{Tol: %v}.Validate() = %v, want nil", tol, err)
+		}
+	}
+}
+
+// TestSolversRejectInvalidTol checks the gate is actually wired into the
+// solver entry points: a poisoned tolerance fails immediately (zero
+// iterations consumed) instead of shaping the solve.
+func TestSolversRejectInvalidTol(t *testing.T) {
+	ct, cr, v, tau := warmFixture(t)
+
+	_, _, iters, err := GPrimeCompiled(&ct, tau, v.TX1, v.TX2, GPrimeOptions{Tol: math.NaN()})
+	if err == nil {
+		t.Fatal("GPrimeCompiled accepted a NaN Tol")
+	}
+	if iters != 0 {
+		t.Fatalf("GPrimeCompiled consumed %d iterations before rejecting a NaN Tol", iters)
+	}
+
+	res, err := PointCompiled(&ct, &cr, v, PointOptions{Tol: math.Inf(1)})
+	if err == nil {
+		t.Fatal("PointCompiled accepted an infinite Tol")
+	}
+	if res.Iterations != 0 || res.BeamEvals != 0 {
+		t.Fatalf("PointCompiled consumed work (%d iters, %d evals) before rejecting an infinite Tol",
+			res.Iterations, res.BeamEvals)
+	}
+
+	if _, err := PointCompiled(&ct, &cr, v, PointOptions{GPrime: GPrimeOptions{Tol: -1}}); err == nil {
+		t.Fatal("PointCompiled accepted a negative G' Tol")
+	}
+}

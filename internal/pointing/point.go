@@ -85,6 +85,17 @@ func (o *PointOptions) defaults() {
 	}
 }
 
+// Validate rejects option sets defaulting cannot repair: like
+// GPrimeOptions.Validate, Tol must be a finite, non-negative voltage
+// step (zero means default; NaN/Inf would silently break the fixed-point
+// convergence test), and the embedded G′ options must validate too.
+func (o PointOptions) Validate() error {
+	if !finite(o.Tol) || o.Tol < 0 {
+		return fmt.Errorf("pointing: invalid PointOptions: Tol %v (want a finite, non-negative voltage step; 0 means default)", o.Tol)
+	}
+	return o.GPrime.Validate()
+}
+
 // Result reports a pointing solve.
 type Result struct {
 	V Voltages
@@ -123,6 +134,9 @@ func Point(gt, gr gma.Params, start Voltages, opts PointOptions) (Result, error)
 //
 //cyclops:hotpath zero-alloc contract pinned by TestPointCompiledZeroAllocs and make alloc-check
 func PointCompiled(gt, gr *gma.Compiled, start Voltages, opts PointOptions) (Result, error) {
+	if err := opts.Validate(); err != nil {
+		return Result{V: start}, err
+	}
 	opts.defaults()
 	res, err := point(gt, gr, start, opts)
 	opts.Metrics.record(res, err)

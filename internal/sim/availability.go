@@ -77,6 +77,11 @@ func (r TraceResult) ScatteredOffFraction(threshold int) float64 {
 	return float64(scattered) / float64(r.OffSlots)
 }
 
+// simBlock is the number of reports whose drift steps SimulateTrace
+// precomputes per batch (4 KB of stack). See the block comment at the
+// fill site for why batching pays.
+const simBlock = 256
+
 // SimulateTrace runs the §5.4 slot model over one trace.
 func SimulateTrace(tr trace.Trace, p AvailabilityParams) TraceResult {
 	res := TraceResult{ID: tr.ID}
@@ -94,7 +99,6 @@ func SimulateTrace(tr trace.Trace, p AvailabilityParams) TraceResult {
 	// per-slot multiply used to produce, so the accumulated offsets stay
 	// bit-identical while the 1 ms loop sheds two multiplies (and the
 	// Duration.Seconds conversion, ~5 % of the corpus run) per slot.
-	var latRate, angRate float64
 	var latStep, angStep float64
 	slotSec := p.Slot.Seconds()
 
@@ -108,20 +112,61 @@ func SimulateTrace(tr trace.Trace, p AvailabilityParams) TraceResult {
 	slots, offSlots := 0, 0
 	tolLat, tolAng := p.LateralTolerance, p.AngularTolerance
 
-	// The normalized orientation of the previous report, reused as the a
-	// side of the next pair (each report is the b of one Delta and the a
-	// of the next). Normalize is pure, so the cached value is exactly
-	// what Pose.Delta would recompute — one normalization per report
-	// instead of two, with bit-identical drift rates.
+	// The per-report drift steps are pure functions of the sample pairs,
+	// independent across reports, so they are precomputed in blocks of
+	// simBlock reports ahead of the event loop. Batching keeps the
+	// normalize→distance→angle chains (each a long serial float
+	// dependency ending in an Acos polynomial) adjacent, letting the
+	// out-of-order core overlap consecutive reports instead of paying
+	// each chain's full latency between slot segments. Every step value
+	// is computed by the same operations in the same order as the inline
+	// form, so the accumulated offsets are bit-identical
+	// (TestSimulateTraceMatchesReference).
+	//
+	// prevN is the normalized orientation of the previous report, reused
+	// as the a side of the next pair (each report is the b of one pair
+	// and the a of the next): one normalization per report instead of
+	// two. lastGap/lastDt memoize the report-spacing conversion — in the
+	// corpus the gap is a constant 10 ms, so Duration.Seconds (two
+	// integer divides) runs once instead of once per report. Both are
+	// pure, so the cached values are exactly the recomputed ones.
+	var latStepC, angStepC [simBlock]float64
+	stepLo, stepHi := 1, 1 // report index range cached in latStepC/angStepC
 	prevN := samples[0].Pose.Rot.Normalize()
 	prevNIdx := 0
-
-	// Memoized report-spacing conversion: in the corpus the inter-report
-	// gap is a constant 10 ms, so Duration.Seconds (two integer divides)
-	// runs once instead of once per report. Seconds is a pure function of
-	// the gap, so the memoized dt is bit-identical.
 	lastGap := time.Duration(math.MinInt64)
 	var lastDt float64
+	// Steps persist across dt ≤ 0 reports (a malformed pair keeps the
+	// previous rates), so the fill carries the last computed values.
+	var carryLat, carryAng float64
+	fillSteps := func(lo int) {
+		hi := lo + simBlock
+		if hi > len(samples) {
+			hi = len(samples)
+		}
+		for j := lo; j < hi; j++ {
+			a, b := &samples[j-1], &samples[j]
+			if gap := b.At - a.At; gap != lastGap {
+				lastGap, lastDt = gap, gap.Seconds()
+			}
+			if dt := lastDt; dt > 0 {
+				if prevNIdx != j-1 {
+					prevN = a.Pose.Rot.Normalize()
+				}
+				bN := b.Pose.Rot.Normalize()
+				dLin := a.Pose.Trans.Dist(b.Pose.Trans)
+				dAng := geom.AngleBetweenNormalized(prevN, bN)
+				prevN, prevNIdx = bN, j
+				latRate := dLin / dt
+				angRate := dAng / dt
+				carryLat = latRate * slotSec
+				carryAng = angRate * slotSec
+			}
+			latStepC[j-lo] = carryLat
+			angStepC[j-lo] = carryAng
+		}
+		stepLo, stepHi = lo, hi
+	}
 
 	// The loop is event-driven: all state changes (rate updates,
 	// realignments) happen at report arrivals or realignment
@@ -137,29 +182,17 @@ func SimulateTrace(tr trace.Trace, p AvailabilityParams) TraceResult {
 		// tracker faster than the realign latency must not starve the
 		// mirrors).
 		for nextReportIdx < len(samples) && samples[nextReportIdx].At <= at {
-			a, b := &samples[nextReportIdx-1], &samples[nextReportIdx]
+			b := &samples[nextReportIdx]
 			if realignAt >= 0 && b.At >= realignAt {
 				lat = p.TPLateralError
 				ang = p.TPAngularError
 				realignAt = -1
 			}
-			if gap := b.At - a.At; gap != lastGap {
-				lastGap, lastDt = gap, gap.Seconds()
+			if nextReportIdx >= stepHi {
+				fillSteps(nextReportIdx)
 			}
-			dt := lastDt
-			if dt > 0 {
-				if prevNIdx != nextReportIdx-1 {
-					prevN = a.Pose.Rot.Normalize()
-				}
-				bN := b.Pose.Rot.Normalize()
-				dLin := a.Pose.Trans.Dist(b.Pose.Trans)
-				dAng := geom.AngleBetweenNormalized(prevN, bN)
-				prevN, prevNIdx = bN, nextReportIdx
-				latRate = dLin / dt
-				angRate = dAng / dt
-				latStep = latRate * slotSec
-				angStep = angRate * slotSec
-			}
+			latStep = latStepC[nextReportIdx-stepLo]
+			angStep = angStepC[nextReportIdx-stepLo]
 			realignAt = b.At + p.RealignLatency
 			nextReportIdx++
 		}
@@ -182,22 +215,69 @@ func SimulateTrace(tr trace.Trace, p AvailabilityParams) TraceResult {
 		if realignAt >= 0 && realignAt < limit {
 			limit = realignAt
 		}
-		for ; at < limit; at += p.Slot {
-			// Connectivity check for this slot.
-			slots++
-			if lat > tolLat || ang > tolAng {
-				offSlots++
-				frameOff++
+		// delta and at are non-negative, so delta − k·Slot is exactly
+		// delta mod Slot: the multiply-compare spells the remainder
+		// check without a second hardware divide on the segment path.
+		delta := limit - at
+		if k := int(delta / p.Slot); k > 0 {
+			if time.Duration(k)*p.Slot != delta {
+				k++
 			}
-			slotInFrame++
-			if slotInFrame == 30 {
-				res.FrameHistogram[frameOff]++
-				slotInFrame, frameOff = 0, 0
+			// Fully-connected fast path. The drift steps are
+			// non-negative (rates are distances over positive dt), so
+			// the sequentially-accumulated offsets are non-decreasing
+			// within the segment: adding y ≥ 0 under round-to-nearest
+			// never moves a float below itself. The last slot's checked
+			// values (k−1 accumulation steps from here) therefore bound
+			// every check in the segment — if they are inside tolerance,
+			// no slot is off, and the per-slot bookkeeping collapses to
+			// O(1). The accumulation itself still runs step by step, so
+			// lat/ang leave the segment bit-identical to the per-slot
+			// loop.
+			lat0, ang0 := lat, ang
+			for i := 1; i < k; i++ {
+				lat += latStep
+				ang += angStep
 			}
+			if lat <= tolLat && ang <= tolAng {
+				lat += latStep
+				ang += angStep
+				slots += k
+				if total := slotInFrame + k; total >= 30 {
+					// The first completed frame carries the off count
+					// accumulated before this segment; the rest are
+					// all-on frames.
+					res.FrameHistogram[frameOff]++
+					res.FrameHistogram[0] += total/30 - 1
+					slotInFrame = total % 30
+					frameOff = 0
+				} else {
+					slotInFrame = total
+				}
+				at += time.Duration(k) * p.Slot
+			} else {
+				// At least one slot trips a tolerance: replay the
+				// segment per slot (the adds are pure, so the replay
+				// revisits the exact same values).
+				lat, ang = lat0, ang0
+				for ; at < limit; at += p.Slot {
+					// Connectivity check for this slot.
+					slots++
+					if lat > tolLat || ang > tolAng {
+						offSlots++
+						frameOff++
+					}
+					slotInFrame++
+					if slotInFrame == 30 {
+						res.FrameHistogram[frameOff]++
+						slotInFrame, frameOff = 0, 0
+					}
 
-			// Drift across the slot.
-			lat += latStep
-			ang += angStep
+					// Drift across the slot.
+					lat += latStep
+					ang += angStep
+				}
+			}
 		}
 	}
 	if slotInFrame > 0 {

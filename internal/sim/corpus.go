@@ -38,6 +38,21 @@ type CorpusSource interface {
 	At(i int) trace.Trace
 }
 
+// ReusableSource is an optional CorpusSource refinement: AtInto is At
+// with a caller-owned sample buffer, aliased by the returned trace when
+// large enough. The engine consumes each trace fully (simulate, fold,
+// drop) before asking for the next one in the shard, so runShard keeps a
+// single buffer per shard and threads it through every AtInto call —
+// turning ~ShardSize per-trace sample allocations (and their clears)
+// into one. trace.Source implements it; sources that don't silently get
+// the plain At path.
+type ReusableSource interface {
+	CorpusSource
+	// AtInto is At with a reusable buffer. Like At it must be pure in i
+	// and safe for concurrent calls (distinct buffers).
+	AtInto(i int, buf []trace.Sample) trace.Trace
+}
+
 // TraceSlice adapts a materialized []trace.Trace to CorpusSource.
 type TraceSlice []trace.Trace
 
@@ -388,8 +403,17 @@ func runShard(src CorpusSource, cfg corpusConfig, lo, hi int) shardOut {
 	if cfg.keepPerTrace {
 		out.perTrace = make([]ChaosTraceResult, 0, hi-lo)
 	}
+	// One sample buffer per shard: each trace is fully consumed by its
+	// simulate call below before the next AtInto overwrites the buffer.
+	reuse, _ := src.(ReusableSource)
+	var buf []trace.Sample
 	for i := lo; i < hi; i++ {
-		tr := src.At(i)
+		var tr trace.Trace
+		if reuse != nil {
+			tr = reuse.AtInto(i, buf)
+		} else {
+			tr = src.At(i)
+		}
 		reg := obs.NewRegistry()
 		var r ChaosTraceResult
 		if cfg.chaos != nil {
@@ -403,6 +427,9 @@ func runShard(src CorpusSource, cfg corpusConfig, lo, hi int) shardOut {
 		out.agg.addTrace(r, reg.Snapshot())
 		if cfg.keepPerTrace {
 			out.perTrace = append(out.perTrace, r)
+		}
+		if reuse != nil {
+			buf = tr.Samples[:0]
 		}
 	}
 	return out

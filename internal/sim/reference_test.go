@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"cyclops/internal/geom"
+	"cyclops/internal/trace"
+)
+
+// simulateTraceReference is the §5.4 slot model as a straight-line
+// check-every-slot loop: no event-driven segment stripping, no report
+// batching, no memoized conversions — one slot per iteration, rates
+// recomputed inline at each report. It is the oracle for SimulateTrace's
+// optimized loop: both must produce identical results (including every
+// accumulated float, observable through OffSlots/FrameHistogram) on any
+// trace.
+func simulateTraceReference(tr trace.Trace, p AvailabilityParams) TraceResult {
+	res := TraceResult{ID: tr.ID}
+	if len(tr.Samples) < 2 || p.Slot <= 0 {
+		return res
+	}
+
+	lat := p.TPLateralError
+	ang := p.TPAngularError
+	var latStep, angStep float64
+	slotSec := p.Slot.Seconds()
+
+	samples := tr.Samples
+	nextReportIdx := 1
+	var realignAt time.Duration = -1
+
+	end := tr.Duration()
+	frameOff := 0
+	slotInFrame := 0
+	tolLat, tolAng := p.LateralTolerance, p.AngularTolerance
+
+	prevN := samples[0].Pose.Rot.Normalize()
+	prevNIdx := 0
+	lastGap := time.Duration(math.MinInt64)
+	var lastDt float64
+
+	for at := time.Duration(0); at < end; at += p.Slot {
+		for nextReportIdx < len(samples) && samples[nextReportIdx].At <= at {
+			a, b := &samples[nextReportIdx-1], &samples[nextReportIdx]
+			if realignAt >= 0 && b.At >= realignAt {
+				lat = p.TPLateralError
+				ang = p.TPAngularError
+				realignAt = -1
+			}
+			if gap := b.At - a.At; gap != lastGap {
+				lastGap, lastDt = gap, gap.Seconds()
+			}
+			if dt := lastDt; dt > 0 {
+				if prevNIdx != nextReportIdx-1 {
+					prevN = a.Pose.Rot.Normalize()
+				}
+				bN := b.Pose.Rot.Normalize()
+				dLin := a.Pose.Trans.Dist(b.Pose.Trans)
+				dAng := geom.AngleBetweenNormalized(prevN, bN)
+				prevN, prevNIdx = bN, nextReportIdx
+				latRate := dLin / dt
+				angRate := dAng / dt
+				latStep = latRate * slotSec
+				angStep = angRate * slotSec
+			}
+			realignAt = b.At + p.RealignLatency
+			nextReportIdx++
+		}
+
+		if realignAt >= 0 && at >= realignAt {
+			lat = p.TPLateralError
+			ang = p.TPAngularError
+			realignAt = -1
+		}
+
+		res.Slots++
+		if lat > tolLat || ang > tolAng {
+			res.OffSlots++
+			frameOff++
+		}
+		slotInFrame++
+		if slotInFrame == 30 {
+			res.FrameHistogram[frameOff]++
+			slotInFrame, frameOff = 0, 0
+		}
+
+		lat += latStep
+		ang += angStep
+	}
+	if slotInFrame > 0 {
+		res.FrameHistogram[frameOff]++
+	}
+	if res.Slots > 0 {
+		res.OnFraction = 1 - float64(res.OffSlots)/float64(res.Slots)
+	}
+	return res
+}
+
+// TestSimulateTraceMatchesReference pins the optimized slot loop (event
+// segmentation, monotone fast path, blocked report-delta precompute) to
+// the naive per-slot reference on real synthetic traces — including ones
+// long enough to cross many simBlock boundaries — and on adversarial
+// spacings (duplicate timestamps, irregular gaps).
+func TestSimulateTraceMatchesReference(t *testing.T) {
+	p := Paper25G()
+	check := func(name string, tr trace.Trace) {
+		t.Helper()
+		want := simulateTraceReference(tr, p)
+		got := SimulateTrace(tr, p)
+		if got.Slots != want.Slots || got.OffSlots != want.OffSlots ||
+			math.Float64bits(got.OnFraction) != math.Float64bits(want.OnFraction) ||
+			got.FrameHistogram != want.FrameHistogram {
+			t.Errorf("%s: optimized %+v != reference %+v", name, got, want)
+		}
+	}
+
+	// Full-length synthetic traces across several seeds (6001 reports
+	// each: ~23 simBlock fills per trace).
+	for _, seed := range []int64{3, 700, 701, -12} {
+		check("synthetic", trace.Generate(seed, int(seed&7), time.Minute, geom.V(0, -1.5, 0)))
+	}
+	// Short trace: fewer reports than one block.
+	check("short", trace.Generate(9, 1, 300*time.Millisecond, geom.Vec3{}))
+
+	// Duplicate timestamps (dt == 0 must keep the previous drift rates)
+	// and an irregular gap breaking the memoized conversion.
+	base := trace.Generate(5, 2, 2*time.Second, geom.Vec3{})
+	irregular := trace.Trace{ID: "irregular", Samples: append([]trace.Sample(nil), base.Samples...)}
+	irregular.Samples[40].At = irregular.Samples[39].At // dt = 0
+	irregular.Samples[80].At += 3 * time.Millisecond    // gap change
+	irregular.Samples[81].At += 3 * time.Millisecond
+	check("irregular", irregular)
+}

@@ -1,0 +1,194 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"cyclops/internal/geom"
+)
+
+// generateReference is the trace synthesizer as originally written: one
+// straight-line per-sample loop over math/rand, scalar NormFloat64 draws,
+// and scalar pose construction. It exists only as the bit-identity oracle
+// for the optimized pipeline behind Generate (the xrand replica, the
+// batched Norm6 draws, the blocked SoA pose pass) — every divergence in
+// any of those layers shows up here as a byte difference.
+func generateReference(seed int64, index int, length time.Duration, origin geom.Vec3) Trace {
+	rng := rand.New(rand.NewSource(seed*1_000_003 + int64(index)))
+	n := int(length/SampleInterval) + 1
+	dt := SampleInterval.Seconds()
+
+	const (
+		tauYawRate = 0.9
+		sigYawRate = 0.09
+		tauPitch   = 0.7
+		sigPitch   = 0.05
+		tauPos     = 1.8
+		sigPos     = 0.020
+		saccadeHz  = 0.25
+	)
+
+	sqrtDt := math.Sqrt(dt)
+	var (
+		saccadeProb = saccadeHz * dt
+		shiftProb   = 0.18 * dt
+		yawNoise    = sigYawRate * sqrtDt
+		pitchNoise  = sigPitch * sqrtDt
+		rollNoise   = 0.5 * sigPitch * sqrtDt
+		posNoise    = sigPos * sqrtDt
+		posNoiseZ   = 0.5 * sigPos * sqrtDt
+		pullBack    = dt * 0.8
+		velDecay    = -dt / tauPos
+	)
+
+	refSign := func() float64 {
+		if rng.Float64() < 0.5 {
+			return -1
+		}
+		return 1
+	}
+
+	var yaw, pitch, roll float64
+	var yawRate, pitchRate, rollRate float64
+	pos := origin
+	vel := geom.Vec3{}
+	var saccadeLeft int
+	var saccadeRate float64
+	var shiftLeft int
+	var shiftVel geom.Vec3
+
+	tr := Trace{ID: "", Samples: make([]Sample, n)}
+	for i, at := 0, time.Duration(0); i < n; i, at = i+1, at+SampleInterval {
+		tr.Samples[i] = Sample{
+			At:   at,
+			Pose: geom.NewPose(geom.QuatFromEuler(yaw, pitch, roll), pos),
+		}
+
+		if saccadeLeft == 0 && rng.Float64() < saccadeProb {
+			saccadeLeft = 20 + rng.Intn(30)
+			if rng.Float64() < 1.0/6 {
+				saccadeRate = (rng.Float64()*0.5 + 0.5) * refSign()
+			} else {
+				saccadeRate = (rng.Float64()*0.25 + 0.15) * refSign()
+			}
+		}
+		effYawRate := yawRate
+		if saccadeLeft > 0 {
+			saccadeLeft--
+			effYawRate += saccadeRate
+		}
+
+		if shiftLeft == 0 && rng.Float64() < shiftProb {
+			shiftLeft = 30 + rng.Intn(30)
+			dir := geom.V(rng.NormFloat64(), rng.NormFloat64(), 0.3*rng.NormFloat64())
+			if !dir.IsZero() {
+				speed := 0.07 + rng.Float64()*0.13
+				if rng.Float64() < 0.25 {
+					speed = 0.15 + rng.Float64()*0.20
+				}
+				shiftVel = dir.Unit().Scale(speed)
+			}
+		}
+		effVel := vel
+		if shiftLeft > 0 {
+			shiftLeft--
+			effVel = effVel.Add(shiftVel)
+		}
+
+		yaw += effYawRate * dt
+		pitch += pitchRate * dt
+		roll += rollRate * dt
+		pitch -= pitch * dt / 2.5
+		roll -= roll * dt / 1.5
+
+		yawRate += -yawRate*dt/tauYawRate + yawNoise*rng.NormFloat64()
+		pitchRate += -pitchRate*dt/tauPitch + pitchNoise*rng.NormFloat64()
+		rollRate += -rollRate*dt/tauPitch + rollNoise*rng.NormFloat64()
+
+		pos = pos.Add(effVel.Scale(dt))
+		vel = vel.Add(origin.Sub(pos).Scale(pullBack))
+		vel = vel.Add(vel.Scale(velDecay)).Add(geom.V(
+			posNoise*rng.NormFloat64(),
+			posNoise*rng.NormFloat64(),
+			posNoiseZ*rng.NormFloat64(),
+		))
+	}
+	return tr
+}
+
+func samplesBitEqual(a, b []Sample) (int, bool) {
+	if len(a) != len(b) {
+		return -1, false
+	}
+	eq := func(x, y float64) bool { return math.Float64bits(x) == math.Float64bits(y) }
+	for i := range a {
+		if a[i].At != b[i].At ||
+			!eq(a[i].Pose.Rot.W, b[i].Pose.Rot.W) || !eq(a[i].Pose.Rot.X, b[i].Pose.Rot.X) ||
+			!eq(a[i].Pose.Rot.Y, b[i].Pose.Rot.Y) || !eq(a[i].Pose.Rot.Z, b[i].Pose.Rot.Z) ||
+			!eq(a[i].Pose.Trans.X, b[i].Pose.Trans.X) || !eq(a[i].Pose.Trans.Y, b[i].Pose.Trans.Y) ||
+			!eq(a[i].Pose.Trans.Z, b[i].Pose.Trans.Z) {
+			return i, false
+		}
+	}
+	return 0, true
+}
+
+// TestGenerateMatchesReference pins the optimized synthesis pipeline to
+// the original math/rand scalar implementation, byte for byte, across
+// full-length traces. Trace lengths straddle the SoA block boundary
+// (n = 6001 = 46·128 + 113 exercises a partial tail block; the short
+// lengths cover n < block and n ≡ 0 mod block).
+func TestGenerateMatchesReference(t *testing.T) {
+	origin := geom.V(0.1, -1.4, 0.3)
+	cases := []struct {
+		seed   int64
+		index  int
+		length time.Duration
+	}{
+		{3, 0, time.Minute},
+		{3, 17, time.Minute},
+		{700, 499, time.Minute},
+		{-9, 5, 900 * time.Millisecond},            // n=91 < genBlock
+		{42, 1, (2*genBlock - 1) * SampleInterval}, // n=2·genBlock exactly
+		{42, 2, (genBlock - 1) * SampleInterval},   // n=genBlock exactly
+	}
+	for _, c := range cases {
+		want := generateReference(c.seed, c.index, c.length, origin)
+		got := Generate(c.seed, c.index, c.length, origin)
+		if i, ok := samplesBitEqual(got.Samples, want.Samples); !ok {
+			t.Errorf("seed=%d index=%d len=%v: sample %d diverges: got %+v want %+v",
+				c.seed, c.index, c.length, i, got.Samples[i], want.Samples[i])
+		}
+	}
+}
+
+// TestGenerateIntoReuse pins the buffer-reuse contract: a large-enough
+// buffer is aliased (no allocation of a fresh sample slice) and the
+// samples are byte-identical to a fresh Generate; a too-small buffer is
+// abandoned for a fresh allocation.
+func TestGenerateIntoReuse(t *testing.T) {
+	origin := geom.V(0, -1.5, 0)
+	fresh := Generate(5, 3, time.Second, origin)
+
+	buf := make([]Sample, 0, len(fresh.Samples)+7)
+	// Poison the buffer: every word must be overwritten.
+	buf = buf[:cap(buf)]
+	for i := range buf {
+		buf[i] = Sample{At: -1, Pose: geom.NewPose(geom.Quat{W: math.NaN()}, geom.V(1e300, 1e300, 1e300))}
+	}
+	reused := GenerateInto(5, 3, time.Second, origin, buf[:0])
+	if &reused.Samples[0] != &buf[0] {
+		t.Fatalf("GenerateInto did not alias the provided buffer")
+	}
+	if i, ok := samplesBitEqual(reused.Samples, fresh.Samples); !ok {
+		t.Fatalf("reused-buffer trace diverges at sample %d", i)
+	}
+
+	small := make([]Sample, 0, 3)
+	grown := GenerateInto(5, 3, time.Second, origin, small)
+	if i, ok := samplesBitEqual(grown.Samples, fresh.Samples); !ok {
+		t.Fatalf("grown-buffer trace diverges at sample %d", i)
+	}
+}

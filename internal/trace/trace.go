@@ -17,12 +17,12 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"math/rand"
 	"strconv"
 	"time"
 
 	"cyclops/internal/geom"
 	"cyclops/internal/parallel"
+	"cyclops/internal/xrand"
 )
 
 // SampleInterval is the dataset's report period.
@@ -269,7 +269,33 @@ func clamp1(v float64) float64 {
 // Fig 3: ~95 % of angular speeds below ≈19 deg/s and linear below
 // ≈14 cm/s, with a tail reaching a few times that during saccades.
 func Generate(seed int64, index int, length time.Duration, origin geom.Vec3) Trace {
-	rng := rand.New(rand.NewSource(seed*1_000_003 + int64(index)))
+	return GenerateInto(seed, index, length, origin, nil)
+}
+
+// genBlock is the SoA block width of the synthesis loop: pass 1 runs the
+// state recurrence (RNG draws and OU updates) for a block of samples,
+// recording the per-sample Euler angles and positions into stack-resident
+// arrays; pass 2 builds each pose and stores it straight into the sample
+// buffer (the same per-element call chain as geom.PosesFromEulerBatch,
+// minus a staging array that cost a 64-byte store+load per sample). The
+// split keeps the serially-dependent recurrence and the independent pose
+// construction in separate tight loops over L1-resident data. 256 samples
+// is ~12 KB of block state. The width is purely a restructuring knob: the
+// per-sample operation sequence is identical at any block size
+// (TestGenerateMatchesReference pins the bytes).
+const genBlock = 256
+
+// GenerateInto is Generate with a caller-owned sample buffer: when
+// cap(buf) is large enough the returned trace aliases buf instead of
+// allocating. The corpus engine recycles one buffer per shard through
+// this (a ~400 KB make plus its clear, per trace, otherwise). The
+// synthesized samples are byte-identical to Generate's
+// (TestGenerateMatchesReference).
+func GenerateInto(seed int64, index int, length time.Duration, origin geom.Vec3, buf []Sample) Trace {
+	// xrand replicates rand.New(rand.NewSource(...)) bit for bit with
+	// concrete types, so the draws inline into this loop (see the xrand
+	// package doc); the synthesized corpus is unchanged byte for byte.
+	rng := xrand.New(seed*1_000_003 + int64(index))
 	n := int(length/SampleInterval) + 1
 	dt := SampleInterval.Seconds()
 
@@ -311,82 +337,110 @@ func Generate(seed int64, index int, length time.Duration, origin geom.Vec3) Tra
 	// responsible for the §5.4 off-slots.
 	var shiftLeft int
 	var shiftVel geom.Vec3
+	var n6 [6]float64
 
-	tr := Trace{ID: fmt.Sprintf("synthetic-%d", index), Samples: make([]Sample, n)}
-	for i, at := 0, time.Duration(0); i < n; i, at = i+1, at+SampleInterval {
-		tr.Samples[i] = Sample{
-			At: at,
-			Pose: geom.NewPose(
-				geom.QuatFromEuler(yaw, pitch, roll),
-				pos,
-			),
-		}
+	samples := buf
+	if cap(samples) >= n {
+		samples = samples[:n]
+	} else {
+		samples = make([]Sample, n)
+	}
+	tr := Trace{ID: fmt.Sprintf("synthetic-%d", index), Samples: samples}
 
-		// Saccade bursts: brief, faster re-orientations.
-		if saccadeLeft == 0 && rng.Float64() < saccadeProb {
-			saccadeLeft = 20 + rng.Intn(30) // 200–500 ms
-			// Mostly 9–23 deg/s re-orientations (the Fig 3
-			// distribution's upper region); one in six is a fast
-			// glance at 30–60 deg/s — the tail that makes the
-			// §5.4 off-slots.
-			if rng.Float64() < 1.0/6 {
-				saccadeRate = (rng.Float64()*0.5 + 0.5) * sign(rng)
-			} else {
-				saccadeRate = (rng.Float64()*0.25 + 0.15) * sign(rng)
-			}
-		}
-		effYawRate := yawRate
-		if saccadeLeft > 0 {
-			saccadeLeft--
-			effYawRate += saccadeRate
-		}
+	// Per-block SoA state: sample i's pose inputs are the state values
+	// *before* iteration i's updates, so pass 1 records them and pass 2
+	// builds the poses — the same scalar operations in the same order per
+	// sample, just regrouped across independent samples.
+	var yawB, pitchB, rollB [genBlock]float64
+	var posB [genBlock]geom.Vec3
 
-		// Posture shifts: ~every 6 s, a 300–600 ms translation burst.
-		if shiftLeft == 0 && rng.Float64() < shiftProb {
-			shiftLeft = 30 + rng.Intn(30)
-			dir := geom.V(rng.NormFloat64(), rng.NormFloat64(), 0.3*rng.NormFloat64())
-			if !dir.IsZero() {
-				// Mostly gentle leans straddling the ~12 cm/s
-				// drift limit (brief, scattered outages); a
-				// quarter are decisive re-seats well past it
-				// (clustered outages).
-				speed := 0.07 + rng.Float64()*0.13
-				if rng.Float64() < 0.25 {
-					speed = 0.15 + rng.Float64()*0.20
+	at := time.Duration(0)
+	for base := 0; base < n; base += genBlock {
+		b := n - base
+		if b > genBlock {
+			b = genBlock
+		}
+		for k := 0; k < b; k++ {
+			yawB[k], pitchB[k], rollB[k] = yaw, pitch, roll
+			posB[k] = pos
+
+			// Saccade bursts: brief, faster re-orientations.
+			if saccadeLeft == 0 && rng.Float64() < saccadeProb {
+				saccadeLeft = 20 + rng.Intn(30) // 200–500 ms
+				// Mostly 9–23 deg/s re-orientations (the Fig 3
+				// distribution's upper region); one in six is a fast
+				// glance at 30–60 deg/s — the tail that makes the
+				// §5.4 off-slots.
+				if rng.Float64() < 1.0/6 {
+					saccadeRate = (rng.Float64()*0.5 + 0.5) * sign(rng)
+				} else {
+					saccadeRate = (rng.Float64()*0.25 + 0.15) * sign(rng)
 				}
-				shiftVel = dir.Unit().Scale(speed)
 			}
+			effYawRate := yawRate
+			if saccadeLeft > 0 {
+				saccadeLeft--
+				effYawRate += saccadeRate
+			}
+
+			// Posture shifts: ~every 6 s, a 300–600 ms translation burst.
+			if shiftLeft == 0 && rng.Float64() < shiftProb {
+				shiftLeft = 30 + rng.Intn(30)
+				dir := geom.V(rng.NormFloat64(), rng.NormFloat64(), 0.3*rng.NormFloat64())
+				if !dir.IsZero() {
+					// Mostly gentle leans straddling the ~12 cm/s
+					// drift limit (brief, scattered outages); a
+					// quarter are decisive re-seats well past it
+					// (clustered outages).
+					speed := 0.07 + rng.Float64()*0.13
+					if rng.Float64() < 0.25 {
+						speed = 0.15 + rng.Float64()*0.20
+					}
+					shiftVel = dir.Unit().Scale(speed)
+				}
+			}
+			effVel := vel
+			if shiftLeft > 0 {
+				shiftLeft--
+				effVel = effVel.Add(shiftVel)
+			}
+
+			yaw += effYawRate * dt
+			pitch += pitchRate * dt
+			roll += rollRate * dt
+			// Keep pitch/roll near level (people don't hold tilted heads).
+			pitch -= pitch * dt / 2.5
+			roll -= roll * dt / 1.5
+
+			// The six OU noise draws are consecutive in the stream (nothing
+			// draws between the rate updates and the velocity noise), so one
+			// batched call replaces six — same values in the same order.
+			rng.Norm6(&n6)
+			yawRate += -yawRate*dt/tauYawRate + yawNoise*n6[0]
+			pitchRate += -pitchRate*dt/tauPitch + pitchNoise*n6[1]
+			rollRate += -rollRate*dt/tauPitch + rollNoise*n6[2]
+
+			pos = pos.Add(effVel.Scale(dt))
+			// Pull back toward the origin (seated viewer sway).
+			vel = vel.Add(origin.Sub(pos).Scale(pullBack))
+			vel = vel.Add(vel.Scale(velDecay)).Add(geom.V(
+				posNoise*n6[3],
+				posNoise*n6[4],
+				posNoiseZ*n6[5],
+			))
 		}
-		effVel := vel
-		if shiftLeft > 0 {
-			shiftLeft--
-			effVel = effVel.Add(shiftVel)
+
+		out := samples[base : base+b : base+b]
+		yb, pb, rb, ps := yawB[:b], pitchB[:b], rollB[:b], posB[:b]
+		for k := range out {
+			out[k] = Sample{At: at, Pose: geom.NewPose(geom.QuatFromEuler(yb[k], pb[k], rb[k]), ps[k])}
+			at += SampleInterval
 		}
-
-		yaw += effYawRate * dt
-		pitch += pitchRate * dt
-		roll += rollRate * dt
-		// Keep pitch/roll near level (people don't hold tilted heads).
-		pitch -= pitch * dt / 2.5
-		roll -= roll * dt / 1.5
-
-		yawRate += -yawRate*dt/tauYawRate + yawNoise*rng.NormFloat64()
-		pitchRate += -pitchRate*dt/tauPitch + pitchNoise*rng.NormFloat64()
-		rollRate += -rollRate*dt/tauPitch + rollNoise*rng.NormFloat64()
-
-		pos = pos.Add(effVel.Scale(dt))
-		// Pull back toward the origin (seated viewer sway).
-		vel = vel.Add(origin.Sub(pos).Scale(pullBack))
-		vel = vel.Add(vel.Scale(velDecay)).Add(geom.V(
-			posNoise*rng.NormFloat64(),
-			posNoise*rng.NormFloat64(),
-			posNoiseZ*rng.NormFloat64(),
-		))
 	}
 	return tr
 }
 
-func sign(rng *rand.Rand) float64 {
+func sign(rng *xrand.Rand) float64 {
 	if rng.Float64() < 0.5 {
 		return -1
 	}
@@ -421,11 +475,19 @@ func (s Source) Len() int { return s.N }
 
 // At generates trace i.
 func (s Source) At(i int) Trace {
+	return s.AtInto(i, nil)
+}
+
+// AtInto generates trace i into a caller-owned sample buffer (see
+// GenerateInto). The corpus engine uses this to recycle one buffer per
+// shard instead of allocating per trace; the samples are byte-identical
+// to At's.
+func (s Source) AtInto(i int, buf []Sample) Trace {
 	origin := s.Origin
 	if s.OriginAt != nil {
 		origin = s.OriginAt(i)
 	}
-	return Generate(s.Seed, i, s.Length, origin)
+	return GenerateInto(s.Seed, i, s.Length, origin, buf)
 }
 
 // Dataset generates the full 500-trace corpus the §5.4 evaluation uses.

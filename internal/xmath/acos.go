@@ -1,0 +1,77 @@
+package xmath
+
+import "math"
+
+// Arctangent rational-approximation constants, transcribed from
+// math/atan.go (Cephes atan.c).
+const (
+	atanP0 = -8.750608600031904122785e-01
+	atanP1 = -1.615753718733365076637e+01
+	atanP2 = -7.500855792314704667340e+01
+	atanP3 = -1.228866684490136173410e+02
+	atanP4 = -6.485021904942025371773e+01
+	atanQ0 = +2.485846490142306297962e+01
+	atanQ1 = +1.650270098316988542046e+02
+	atanQ2 = +4.328810604912902668951e+02
+	atanQ3 = +4.853903996359136964868e+02
+	atanQ4 = +1.945506571482613964425e+02
+
+	morebits = 6.123233995736765886130e-17 // pi/2 = PIO2 + Morebits
+	tan3pio8 = 2.41421356237309504880      // tan(3*pi/8)
+)
+
+// xatan evaluates the degree-4/5 rational arctangent approximant on
+// [0, 0.66], verbatim from math/atan.go.
+func xatan(x float64) float64 {
+	z := x * x
+	z = z * ((((atanP0*z+atanP1)*z+atanP2)*z+atanP3)*z + atanP4) / (((((z+atanQ0)*z+atanQ1)*z+atanQ2)*z+atanQ3)*z + atanQ4)
+	z = x*z + x
+	return z
+}
+
+// satan reduces a positive argument to [0, 0.66] and calls xatan,
+// verbatim from math/atan.go.
+func satan(x float64) float64 {
+	if x <= 0.66 {
+		return xatan(x)
+	}
+	if x > tan3pio8 {
+		return math.Pi/2 - xatan(1/x) + morebits
+	}
+	return math.Pi/4 + xatan((x-1)/(x+1)) + 0.5*morebits
+}
+
+// Acos returns math.Acos(x), bit for bit. The stdlib routes
+// Acos → acos → Asin → asin → satan → xatan through four call frames;
+// the availability slot model computes one arccosine per report pair
+// (the angular-delta of consecutive head poses), so the flattened body
+// pays off at corpus scale. Operation order inside each step is
+// untouched — only the call plumbing is gone.
+func Acos(x float64) float64 {
+	// asin(x), inlined from math/asin.go.
+	var a float64
+	switch {
+	case x == 0:
+		a = x
+	default:
+		sign := false
+		if x < 0 {
+			x = -x
+			sign = true
+		}
+		if x > 1 {
+			return math.NaN() // Pi/2 - NaN is NaN either way
+		}
+		temp := math.Sqrt(1 - x*x)
+		if x > 0.7 {
+			temp = math.Pi/2 - satan(temp/x)
+		} else {
+			temp = satan(x / temp)
+		}
+		if sign {
+			temp = -temp
+		}
+		a = temp
+	}
+	return math.Pi/2 - a
+}

@@ -1,0 +1,52 @@
+package xmath
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestAcosBitIdentical sweeps the full domain with dense coverage near
+// the branch points (0.66 and 0.7 after reduction, ±1, 0) plus
+// out-of-domain and non-finite inputs.
+func TestAcosBitIdentical(t *testing.T) {
+	check := func(x float64) {
+		t.Helper()
+		w, g := math.Acos(x), Acos(x)
+		if math.Float64bits(w) != math.Float64bits(g) {
+			t.Fatalf("Acos(%g): got %x want %x", x, math.Float64bits(g), math.Float64bits(w))
+		}
+	}
+	for _, x := range []float64{
+		0, math.Copysign(0, -1), 1, -1, 0.5, -0.5, 0.7, -0.7,
+		0.7 + 1e-16, 0.7 - 1e-16, 0.66, 0.9999999999, -0.9999999999,
+		1 + 1e-15, -1 - 1e-15, 2, -2, math.NaN(), math.Inf(1), math.Inf(-1),
+		5e-324, -5e-324,
+	} {
+		check(x)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500000; i++ {
+		check(rng.Float64()*2 - 1)
+	}
+	// The slot model's arguments cluster at 1⁻ (tiny head rotations).
+	for i := 0; i < 200000; i++ {
+		check(1 - rng.Float64()*1e-6)
+	}
+}
+
+func BenchmarkAcos(b *testing.B) {
+	var s float64
+	for i := 0; i < b.N; i++ {
+		s += Acos(1 - float64(i%1000)*1e-6)
+	}
+	_ = s
+}
+
+func BenchmarkStdAcos(b *testing.B) {
+	var s float64
+	for i := 0; i < b.N; i++ {
+		s += math.Acos(1 - float64(i%1000)*1e-6)
+	}
+	_ = s
+}

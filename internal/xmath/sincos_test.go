@@ -1,0 +1,100 @@
+package xmath
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func eqBits(a, b float64) bool { return math.Float64bits(a) == math.Float64bits(b) }
+
+// TestSincosBitIdentical sweeps the argument ranges the trace
+// synthesizer produces plus every special case: exact zeros (both
+// signs), denormals, small angles, full octant coverage, near-multiples
+// of π/4, the Payne-Hanek fallback range, and non-finite inputs.
+func TestSincosBitIdentical(t *testing.T) {
+	check := func(x float64) {
+		t.Helper()
+		ws, wc := math.Sincos(x)
+		gs, gc := Sincos(x)
+		if !eqBits(gs, ws) || !eqBits(gc, wc) {
+			t.Fatalf("Sincos(%g): got (%x,%x) want (%x,%x)", x,
+				math.Float64bits(gs), math.Float64bits(gc),
+				math.Float64bits(ws), math.Float64bits(wc))
+		}
+	}
+
+	for _, x := range []float64{
+		0, math.Copysign(0, -1), 1e-308, -1e-308, 5e-324,
+		0.1, -0.1, math.Pi / 4, math.Pi/4 - 1e-16, math.Pi/4 + 1e-16,
+		math.Pi / 2, math.Pi, 3 * math.Pi / 2, 2 * math.Pi,
+		1, -1, 2, -2, 3, -3, 100, -100, 1e6, -1e6,
+		float64(reduceThreshold) - 1, float64(reduceThreshold),
+		float64(reduceThreshold) + 1, 1e12, -1e12, 1e300,
+		math.NaN(), math.Inf(1), math.Inf(-1),
+	} {
+		check(x)
+	}
+	// Every octant boundary ±ulps.
+	for k := 0; k <= 16; k++ {
+		b := float64(k) * math.Pi / 4
+		for _, d := range []float64{0, 1e-18, -1e-18, 1e-9, -1e-9} {
+			check(b + d)
+			check(-(b + d))
+		}
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500000; i++ {
+		check((rng.Float64() - 0.5) * 20) // head-angle range
+	}
+	for i := 0; i < 200000; i++ {
+		check((rng.Float64() - 0.5) * 2e9) // spans the reduce threshold
+	}
+}
+
+// TestSincos3BitIdentical drives the batched entry point through mixed
+// fast/fallback element combinations.
+func TestSincos3BitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	specials := []float64{0, math.NaN(), math.Inf(1), 1e12, -3, 0.01}
+	draw := func(i int) float64 {
+		if i%7 == 0 {
+			return specials[rng.Intn(len(specials))]
+		}
+		return (rng.Float64() - 0.5) * 20
+	}
+	for i := 0; i < 300000; i++ {
+		a, b, c := draw(i), draw(i+1), draw(i+2)
+		wsa, wca := math.Sincos(a)
+		wsb, wcb := math.Sincos(b)
+		wsc, wcc := math.Sincos(c)
+		gsa, gca, gsb, gcb, gsc, gcc := Sincos3(a, b, c)
+		if !eqBits(gsa, wsa) || !eqBits(gca, wca) ||
+			!eqBits(gsb, wsb) || !eqBits(gcb, wcb) ||
+			!eqBits(gsc, wsc) || !eqBits(gcc, wcc) {
+			t.Fatalf("Sincos3(%g,%g,%g) diverges from math.Sincos", a, b, c)
+		}
+	}
+}
+
+func BenchmarkSincos3(b *testing.B) {
+	var s float64
+	for i := 0; i < b.N; i++ {
+		x := float64(i%100) * 0.05
+		sa, ca, sb, cb, sc, cc := Sincos3(x, 0.1*x, -0.05*x)
+		s += sa + ca + sb + cb + sc + cc
+	}
+	_ = s
+}
+
+func BenchmarkStdSincos3(b *testing.B) {
+	var s float64
+	for i := 0; i < b.N; i++ {
+		x := float64(i%100) * 0.05
+		sa, ca := math.Sincos(x)
+		sb, cb := math.Sincos(0.1 * x)
+		sc, cc := math.Sincos(-0.05 * x)
+		s += sa + ca + sb + cb + sc + cc
+	}
+	_ = s
+}

@@ -1,0 +1,129 @@
+package xrand
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestSequenceMatchesMathRand pins the whole point of this package: for
+// any seed, the replica's draw stream is bit-identical to
+// rand.New(rand.NewSource(seed)). The mixed draw schedule below
+// interleaves every method the trace synthesizer uses (Float64,
+// NormFloat64, Intn) plus the raw integer draws, so a divergence in any
+// path — including rejection resampling — desynchronizes the streams
+// and fails loudly.
+func TestSequenceMatchesMathRand(t *testing.T) {
+	seeds := []int64{0, 1, -1, 7, 700, 701, 1199, math.MinInt64, math.MaxInt64, 89482311, -89482311}
+	for _, seed := range seeds {
+		ref := rand.New(rand.NewSource(seed))
+		got := New(seed)
+		for i := 0; i < 20000; i++ {
+			switch i % 7 {
+			case 0:
+				r, g := ref.Float64(), got.Float64()
+				if math.Float64bits(r) != math.Float64bits(g) {
+					t.Fatalf("seed %d draw %d: Float64 %v != %v", seed, i, g, r)
+				}
+			case 1:
+				r, g := ref.NormFloat64(), got.NormFloat64()
+				if math.Float64bits(r) != math.Float64bits(g) {
+					t.Fatalf("seed %d draw %d: NormFloat64 %v != %v", seed, i, g, r)
+				}
+			case 2:
+				if r, g := ref.Intn(30), got.Intn(30); r != g {
+					t.Fatalf("seed %d draw %d: Intn(30) %d != %d", seed, i, g, r)
+				}
+			case 3:
+				if r, g := ref.Int63(), got.Int63(); r != g {
+					t.Fatalf("seed %d draw %d: Int63 %d != %d", seed, i, g, r)
+				}
+			case 4:
+				if r, g := ref.Uint32(), got.Uint32(); r != g {
+					t.Fatalf("seed %d draw %d: Uint32 %d != %d", seed, i, g, r)
+				}
+			case 5:
+				// Non-power-of-two and power-of-two Int31n paths.
+				if r, g := ref.Int31n(7), got.Int31n(7); r != g {
+					t.Fatalf("seed %d draw %d: Int31n(7) %d != %d", seed, i, g, r)
+				}
+				if r, g := ref.Int31n(8), got.Int31n(8); r != g {
+					t.Fatalf("seed %d draw %d: Int31n(8) %d != %d", seed, i, g, r)
+				}
+			case 6:
+				if r, g := ref.Int63n(1<<40+3), got.Int63n(1<<40+3); r != g {
+					t.Fatalf("seed %d draw %d: Int63n %d != %d", seed, i, g, r)
+				}
+			}
+		}
+	}
+}
+
+// TestSeedReducesLikeMathRand covers the Seed edge cases: multiples of
+// 2³¹−1 reduce to zero (which remaps to 89482311), and negatives wrap.
+func TestSeedReducesLikeMathRand(t *testing.T) {
+	for _, seed := range []int64{int32max, 2 * int32max, -int32max, int32max + 5, -(int32max + 5)} {
+		ref := rand.New(rand.NewSource(seed))
+		got := New(seed)
+		for i := 0; i < 100; i++ {
+			if r, g := ref.Int63(), got.Int63(); r != g {
+				t.Fatalf("seed %d draw %d: %d != %d", seed, i, g, r)
+			}
+		}
+	}
+}
+
+// TestNorm6MatchesScalar pins Norm6 to six scalar NormFloat64 draws —
+// including across refill boundaries and slow-path rejections, which the
+// long run below crosses many times.
+func TestNorm6MatchesScalar(t *testing.T) {
+	for _, seed := range []int64{1, 7, -3, 0} {
+		ref := New(seed)
+		got := New(seed)
+		var out [6]float64
+		for n := 0; n < 50000; n++ {
+			got.Norm6(&out)
+			for d := 0; d < 6; d++ {
+				want := ref.NormFloat64()
+				if math.Float64bits(want) != math.Float64bits(out[d]) {
+					t.Fatalf("seed %d call %d draw %d: %v != %v", seed, n, d, out[d], want)
+				}
+			}
+		}
+	}
+}
+
+func TestInvalidArgsPanic(t *testing.T) {
+	for name, fn := range map[string]func(*Rand){
+		"Intn":   func(r *Rand) { r.Intn(0) },
+		"Int31n": func(r *Rand) { r.Int31n(-1) },
+		"Int63n": func(r *Rand) { r.Int63n(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s(<=0) did not panic", name)
+				}
+			}()
+			fn(New(1))
+		}()
+	}
+}
+
+func BenchmarkNormFloat64(b *testing.B) {
+	r := New(1)
+	var s float64
+	for i := 0; i < b.N; i++ {
+		s += r.NormFloat64()
+	}
+	_ = s
+}
+
+func BenchmarkStdNormFloat64(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	var s float64
+	for i := 0; i < b.N; i++ {
+		s += r.NormFloat64()
+	}
+	_ = s
+}

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race lint lint-smoke verify bench bench-hotpath alloc-check metrics-smoke chaos-smoke handover-smoke arena-smoke mem-check clean
+.PHONY: all build vet test race lint lint-smoke verify bench bench-hotpath alloc-check metrics-smoke chaos-smoke handover-smoke arena-smoke hybrid-smoke mem-check clean
 
 all: verify
 
@@ -49,6 +49,7 @@ verify:
 	$(MAKE) chaos-smoke
 	$(MAKE) handover-smoke
 	$(MAKE) arena-smoke
+	$(MAKE) hybrid-smoke
 	$(MAKE) mem-check
 
 # Allocation-regression gate for the compiled hot path: the zero-alloc
@@ -122,6 +123,25 @@ arena-smoke:
 	rm -f .arena_smoke.prom .arena_smoke.out
 	@echo "arena-smoke: ok"
 
+# End-to-end hybrid-policy check: the same seeded haze fade (a 30 dB-class
+# fog ramp, seed 3 over 30 s) run twice. FSO-only it costs a full outage —
+# the optical budget dies for the plateau plus the 3 s re-lock. With
+# -hybrid the policy must fail the stream over to the mmWave secondary
+# (fog is transparent at 60 GHz), re-admit the primary after re-lock plus
+# the clear window, and never flap — the pinned counters are exactly one
+# failover and one re-admission, with zero delivered availability loss
+# beyond the switch windows (the summary's "delivered 99.8% up").
+hybrid-smoke:
+	$(GO) run ./cmd/cyclops-sim -oracle -motion static -duration 30s -haze -chaos-seed 3 -metrics .hybrid_smoke_fso.prom
+	grep -q '^cyclops_outage_total [1-9]' .hybrid_smoke_fso.prom
+	$(GO) run ./cmd/cyclops-sim -oracle -motion static -duration 30s -haze -chaos-seed 3 -hybrid -metrics .hybrid_smoke.prom > .hybrid_smoke.out
+	grep -q '^cyclops_policy_failover_total [1-9]' .hybrid_smoke.prom
+	grep -q '^cyclops_policy_readmit_total [1-9]' .hybrid_smoke.prom
+	grep -q '^cyclops_mmwave_goodput_gbps_count [1-9]' .hybrid_smoke.prom
+	grep -q 'delivered 99\.[0-9]% up' .hybrid_smoke.out
+	rm -f .hybrid_smoke_fso.prom .hybrid_smoke.prom .hybrid_smoke.out
+	@echo "hybrid-smoke: ok"
+
 # Memory-boundedness gate for the streaming corpus engine: a 10× larger
 # corpus must finish within a fixed live-heap envelope of the small one
 # (the engine holds O(workers·shard) traces, never the corpus). Run
@@ -193,5 +213,5 @@ bench-hotpath:
 	cat BENCH_hotpath.json
 
 clean:
-	rm -f BENCH_parallel.json BENCH_hotpath.json .bench_parallel.txt .bench_hotpath.txt .metrics_smoke.prom .chaos_smoke.prom .handover_smoke.prom .arena_smoke.prom .arena_smoke.out
+	rm -f BENCH_parallel.json BENCH_hotpath.json .bench_parallel.txt .bench_hotpath.txt .metrics_smoke.prom .chaos_smoke.prom .handover_smoke.prom .arena_smoke.prom .arena_smoke.out .hybrid_smoke_fso.prom .hybrid_smoke.prom .hybrid_smoke.out
 	$(GO) clean ./...

@@ -26,6 +26,7 @@
 // fig16-faults (the chaos availability sweep),
 // fig16-handover (the multi-TX make-before-break sweep),
 // fig16-arena (the multi-user venue capacity sweep),
+// fig16-hybrid (the FSO vs mmWave vs hybrid failover sweep),
 // convergence, ablations, extensions — or all.
 package main
 

@@ -10,6 +10,7 @@
 //	cyclops-sim -motion handheld -metrics run.prom
 //	cyclops-sim -motion handheld -chaos -chaos-seed 7   # fault injection
 //	cyclops-sim -motion handheld -chaos -tx 2      # multi-TX handover
+//	cyclops-sim -motion static -haze -hybrid       # mmWave failover
 //	cyclops-sim -experiment convergence            # registry dispatch
 //	cyclops-sim -experiment fig16-arena -users 64 -density 1.0
 //
@@ -29,6 +30,12 @@
 // holdover instead of unlocking the link. -handover is shorthand for
 // -tx 2. The summary gains a handover count and the exposition gains
 // cyclops_handover_total / cyclops_handover_seconds.
+// -haze plans slow environmental fade ramps (cyclops.DefaultHazeFaultConfig)
+// over the run — fog-like attenuation that kills the optical budget but is
+// transparent to mmWave; it composes with -chaos's schedule. -hybrid arms
+// the hybrid FSO + mmWave failover policy: a shadow mmWave link steps
+// beside the plant, the summary gains a failover/readmit line, and the
+// exposition gains the cyclops_policy_* and cyclops_mmwave_* instruments.
 // -metrics writes the run's Prometheus text exposition to a file on exit;
 // the exposition includes cyclops_pointing_beam_evals_total, the forward
 // GMA-model evaluation budget the realignment loop consumed.
@@ -57,6 +64,8 @@ func main() {
 	metricsFile := flag.String("metrics", "", "write Prometheus text exposition of the run's metrics to this file on exit")
 	chaos := flag.Bool("chaos", false, "inject a seeded fault schedule (occlusions, tracker dropouts, galvo faults) and arm the recovery supervisor")
 	chaosSeed := flag.Int64("chaos-seed", 1, "seed for the -chaos fault schedule (independent of -seed)")
+	haze := flag.Bool("haze", false, "inject slow environmental fade ramps (fog-like attenuation; composes with -chaos)")
+	hybrid := flag.Bool("hybrid", false, "arm the hybrid FSO + mmWave failover policy")
 	txCount := flag.Int("tx", 1, "total ceiling TX count; > 1 arms make-before-break handover (requires -chaos)")
 	txSpacing := flag.Float64("handover-spacing", 1.4, "ceiling ring spacing in meters for the standby TXs of -tx")
 	handoverFlag := flag.Bool("handover", false, "shorthand for -tx 2")
@@ -171,10 +180,23 @@ func main() {
 		Duration:    *duration,
 		SampleEvery: 10 * time.Millisecond,
 	}
-	if *chaos {
-		sched := cyclops.PlanFaults(cyclops.DefaultFaultConfig(), *chaosSeed, effDur)
+	if *chaos || *haze {
+		var cfg cyclops.FaultConfig
+		if *chaos {
+			cfg = cyclops.DefaultFaultConfig()
+		}
+		if *haze {
+			hz := cyclops.DefaultHazeFaultConfig()
+			cfg.Haze, cfg.HazeDepthDB = hz.Haze, hz.HazeDepthDB
+			cfg.HazeRampUp, cfg.HazeRampDown = hz.HazeRampUp, hz.HazeRampDown
+		}
+		sched := cyclops.PlanFaults(cfg, *chaosSeed, effDur)
 		opts.Faults = &sched
 		fmt.Printf("chaos: injecting %d fault windows (seed %d)\n", len(sched.Windows), *chaosSeed)
+	}
+	if *hybrid {
+		opts.Hybrid = &cyclops.HybridOptions{}
+		fmt.Println("hybrid: mmWave secondary armed (SLO-driven failover)")
 	}
 	if *txCount > 1 {
 		if !*chaos {
@@ -223,7 +245,7 @@ func main() {
 		res.Points, res.MeanPointIters(), res.MeanGPrimeIters(), res.PointFailures,
 		res.MeanTPLatency,
 		maxLin*100, maxAng*180/math.Pi)
-	if *chaos {
+	if *chaos || *haze {
 		degraded := 0
 		for _, s := range res.Samples {
 			if s.Degraded {
@@ -235,6 +257,11 @@ func main() {
 		if *txCount > 1 {
 			fmt.Printf("  handovers           %d\n", res.Handovers)
 		}
+	}
+	if *hybrid && res.Hybrid != nil {
+		h := res.Hybrid
+		fmt.Printf("  hybrid              %d failovers, %d readmits, %d ticks on mmWave, delivered %.1f%% up\n",
+			h.Failovers, h.Readmits, h.SecondaryTicks, h.DeliveredUpFraction*100)
 	}
 	writeMetrics()
 }

@@ -38,6 +38,7 @@ import (
 	"cyclops/internal/netem"
 	"cyclops/internal/obs"
 	"cyclops/internal/optics"
+	"cyclops/internal/policy"
 	"cyclops/internal/sim"
 	"cyclops/internal/trace"
 )
@@ -280,6 +281,29 @@ type TXPlant = link.Plant
 func StandbyRing(cfg LinkConfig, rxSeed int64, count int, spacing float64) []*TXPlant {
 	return handover.StandbysFor(cfg, rxSeed, handover.RingPositions(count, spacing))
 }
+
+// HybridOptions arms the hybrid FSO + mmWave link policy on a run: a
+// shadow mmWave link steps beside the optical plant, and when the FSO
+// power SLO breaches for the breach window the policy fails the stream
+// over, re-admitting the primary only after re-lock plus the clear
+// window. Unlike HandoverOptions it needs no fault schedule — a clean run
+// simply never leaves the primary. See DESIGN.md "Hybrid FSO + mmWave
+// failover policy".
+type HybridOptions = core.HybridOptions
+
+// HybridStats is the hybrid policy's per-run outcome (RunResult.Hybrid).
+type HybridStats = core.HybridStats
+
+// PolicyOptions tunes the failover hysteresis: the sustained-breach
+// window before leaving the primary and the sustained-clear window before
+// re-admitting it.
+type PolicyOptions = policy.Options
+
+// DefaultHazeFaultConfig is the haze-only environmental-fade schedule
+// (slow attenuation ramps, transparent to mmWave) behind cyclops-sim
+// -haze and fig16-hybrid's haze-ramp arm. It composes with
+// DefaultFaultConfig by copying the Haze* fields.
+func DefaultHazeFaultConfig() FaultConfig { return fault.DefaultHazeConfig() }
 
 // ChaosParams extend the §5.4 slot model with occlusion blocking and
 // re-lock constants.

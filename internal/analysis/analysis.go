@@ -163,6 +163,7 @@ var deterministicPackages = []string{
 	"internal/parallel",
 	"internal/obs",
 	"internal/netem",
+	"internal/policy",
 }
 
 // inDeterministicScope reports whether a package (by module-relative

@@ -12,6 +12,7 @@
 package baseline
 
 import (
+	"fmt"
 	"math"
 	"time"
 
@@ -19,6 +20,7 @@ import (
 	"cyclops/internal/link"
 	"cyclops/internal/motion"
 	"cyclops/internal/netem"
+	"cyclops/internal/obs"
 )
 
 // MmWaveLink models an 802.11ad-class 60 GHz link between a ceiling access
@@ -38,8 +40,13 @@ type MmWaveLink struct {
 	// (20–30 dB at 60 GHz; enough to drop the top MCS ladder entirely).
 	BlockageLossDB float64
 
+	// Metrics, when non-nil, instruments every Step (and therefore Run).
+	Metrics *MmWaveMetrics
+
 	// aim is the current beam direction (world frame, from the AP).
 	aim geom.Vec3
+	// nextTrain is when the next beam-refinement cycle fires.
+	nextTrain time.Duration
 }
 
 // NewMmWave builds the default 802.11ad baseline mounted at the Cyclops
@@ -52,6 +59,65 @@ func NewMmWave() *MmWaveLink {
 		TrainInterval:   100 * time.Millisecond,
 		BlockageLossDB:  25,
 	}
+}
+
+// MmWaveMetrics instruments the mmWave baseline. Defined once here (the
+// obs registry panics on conflicting re-registration): every consumer —
+// the standalone Run comparison and core.Run's hybrid secondary — records
+// under these names.
+type MmWaveMetrics struct {
+	// Goodput is the per-tick instantaneous goodput distribution, Gbps.
+	Goodput *obs.Histogram
+	// Retrains counts beam-refinement (codebook training) cycles.
+	Retrains *obs.Counter
+	// BlockageLoss is the blockage penalty applied at the latest tick, dB
+	// (0 when the body is clear of the path).
+	BlockageLoss *obs.Gauge
+}
+
+// MmWaveGoodputBuckets are the cyclops_mmwave_goodput_gbps histogram
+// bounds, straddling the 802.11ad MCS ladder steps (0.15/0.4/0.7/1.0 ×
+// the 4.6 Gbps peak).
+var MmWaveGoodputBuckets = []float64{0.5, 1, 2, 3, 4, 5}
+
+// NewMmWaveMetrics registers the mmWave instruments in reg (nil reg → nil
+// metrics, recording disabled).
+func NewMmWaveMetrics(reg *obs.Registry) *MmWaveMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &MmWaveMetrics{
+		Goodput: reg.Histogram("cyclops_mmwave_goodput_gbps",
+			"Instantaneous mmWave goodput per tick (802.11ad MCS ladder).",
+			MmWaveGoodputBuckets),
+		Retrains: reg.Counter("cyclops_mmwave_retrain_total",
+			"mmWave beam-refinement (codebook training) cycles."),
+		BlockageLoss: reg.Gauge("cyclops_mmwave_blockage_loss_db",
+			"Body-blockage penalty applied at the latest tick."),
+	}
+}
+
+// Validate rejects non-finite or non-positive link parameters, mirroring
+// core.RunOptions.Validate so a bad config fails loudly at arm time
+// instead of producing NaN goodput mid-run.
+func (l *MmWaveLink) Validate() error {
+	finite := func(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+	if !finite(l.APPosition.X) || !finite(l.APPosition.Y) || !finite(l.APPosition.Z) {
+		return fmt.Errorf("baseline: non-finite APPosition %+v", l.APPosition)
+	}
+	if !(l.PeakGoodputGbps > 0) || !finite(l.PeakGoodputGbps) {
+		return fmt.Errorf("baseline: PeakGoodputGbps %v must be positive and finite", l.PeakGoodputGbps)
+	}
+	if !(l.BeamWidth > 0) || !finite(l.BeamWidth) {
+		return fmt.Errorf("baseline: BeamWidth %v must be positive and finite", l.BeamWidth)
+	}
+	if l.TrainInterval <= 0 {
+		return fmt.Errorf("baseline: TrainInterval %v must be positive", l.TrainInterval)
+	}
+	if !(l.BlockageLossDB >= 0) || !finite(l.BlockageLossDB) {
+		return fmt.Errorf("baseline: BlockageLossDB %v must be non-negative and finite", l.BlockageLossDB)
+	}
+	return nil
 }
 
 // goodputAt returns the instantaneous goodput toward a headset at hpos
@@ -102,6 +168,38 @@ type Result struct {
 	Windows         []netem.Window
 }
 
+// Reset rewinds the link state machine to the start of a run: the beam
+// unaimed and the first training cycle due immediately.
+func (l *MmWaveLink) Reset() {
+	l.aim = geom.Vec3{}
+	l.nextTrain = 0
+}
+
+// Step advances the link one tick: trains the beam when the refinement
+// cycle is due, then returns the instantaneous goodput toward a headset
+// at hpos under the given blockage state. Call Reset before the first
+// Step of a run.
+func (l *MmWaveLink) Step(at time.Duration, hpos geom.Vec3, blocked bool) float64 {
+	if at >= l.nextTrain {
+		// Beam training snaps the aim back onto the headset.
+		l.aim = hpos.Sub(l.APPosition).Unit()
+		l.nextTrain = at + l.TrainInterval
+		if l.Metrics != nil {
+			l.Metrics.Retrains.Inc()
+		}
+	}
+	g := l.goodputAt(hpos, blocked)
+	if l.Metrics != nil {
+		l.Metrics.Goodput.Observe(g)
+		var loss float64
+		if blocked {
+			loss = l.BlockageLossDB
+		}
+		l.Metrics.BlockageLoss.Set(loss)
+	}
+	return g
+}
+
 // Run drives the mmWave link through a motion program. blocked, when
 // non-nil, reports body blockage over time (share it with a Cyclops
 // occlusion run for an apples-to-apples comparison).
@@ -113,20 +211,12 @@ func (l *MmWaveLink) Run(prog motion.Program, blocked func(t time.Duration) bool
 	// model a short MAC-level recovery.
 	stream.RampTime = 30 * time.Millisecond
 
-	l.aim = prog.Pose(0).Trans.Sub(l.APPosition).Unit()
-	var nextTrain time.Duration
-
+	l.Reset()
 	var ticks, up int
 	var sum float64
 	for at := time.Duration(0); at <= dur; at += tick {
 		hpos := prog.Pose(at).Trans
-		if at >= nextTrain {
-			// Beam training snaps the aim back onto the headset.
-			l.aim = hpos.Sub(l.APPosition).Unit()
-			nextTrain = at + l.TrainInterval
-		}
-		isBlocked := blocked != nil && blocked(at)
-		g := l.goodputAt(hpos, isBlocked)
+		g := l.Step(at, hpos, blocked != nil && blocked(at))
 		stream.Tick(at, tick, g > 0, g)
 		if g > 0 {
 			up++

@@ -1,12 +1,16 @@
 package baseline
 
 import (
+	"fmt"
+	"math"
+	"strings"
 	"testing"
 	"time"
 
 	"cyclops/internal/geom"
 	"cyclops/internal/link"
 	"cyclops/internal/motion"
+	"cyclops/internal/obs"
 )
 
 func handMotion(seed int64) motion.Program {
@@ -92,5 +96,96 @@ func TestGoodputLadderMonotone(t *testing.T) {
 	// Degenerate geometry.
 	if g := l.goodputAt(l.APPosition, false); g != 0 {
 		t.Errorf("zero-range goodput %.2f", g)
+	}
+}
+
+func TestMmWaveValidate(t *testing.T) {
+	if err := NewMmWave().Validate(); err != nil {
+		t.Fatalf("default link must validate: %v", err)
+	}
+	nan := math.NaN()
+	cases := []struct {
+		name   string
+		mutate func(*MmWaveLink)
+	}{
+		{"nan AP position", func(l *MmWaveLink) { l.APPosition = geom.V(0, nan, 2) }},
+		{"inf AP position", func(l *MmWaveLink) { l.APPosition = geom.V(math.Inf(1), 0, 2) }},
+		{"zero peak goodput", func(l *MmWaveLink) { l.PeakGoodputGbps = 0 }},
+		{"negative peak goodput", func(l *MmWaveLink) { l.PeakGoodputGbps = -1 }},
+		{"nan peak goodput", func(l *MmWaveLink) { l.PeakGoodputGbps = nan }},
+		{"zero beamwidth", func(l *MmWaveLink) { l.BeamWidth = 0 }},
+		{"inf beamwidth", func(l *MmWaveLink) { l.BeamWidth = math.Inf(1) }},
+		{"zero train interval", func(l *MmWaveLink) { l.TrainInterval = 0 }},
+		{"negative train interval", func(l *MmWaveLink) { l.TrainInterval = -time.Second }},
+		{"negative blockage loss", func(l *MmWaveLink) { l.BlockageLossDB = -5 }},
+		{"nan blockage loss", func(l *MmWaveLink) { l.BlockageLossDB = nan }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			l := NewMmWave()
+			tc.mutate(l)
+			if err := l.Validate(); err == nil {
+				t.Error("bad config must be rejected")
+			}
+		})
+	}
+}
+
+// TestMmWaveStepMatchesRun: the Step/Reset state machine the hybrid layer
+// drives must reproduce Run's loop exactly.
+func TestMmWaveStepMatchesRun(t *testing.T) {
+	prog := handMotion(3)
+	blocked := func(at time.Duration) bool {
+		return at > 4*time.Second && at < 5*time.Second
+	}
+	want := NewMmWave().Run(prog, blocked)
+
+	l := NewMmWave()
+	l.Reset()
+	const tick = time.Millisecond
+	var ticks, up int
+	var sum float64
+	for at := time.Duration(0); at <= prog.Duration(); at += tick {
+		g := l.Step(at, prog.Pose(at).Trans, blocked(at))
+		if g > 0 {
+			up++
+		}
+		sum += g
+		ticks++
+	}
+	gotUp := float64(up) / float64(ticks)
+	gotMean := sum / float64(ticks)
+	if gotUp != want.UpFraction || gotMean != want.MeanGoodputGbps {
+		t.Fatalf("Step loop: up %v mean %v, Run: up %v mean %v",
+			gotUp, gotMean, want.UpFraction, want.MeanGoodputGbps)
+	}
+}
+
+// TestMmWaveMetricsOnlyWithRegistry: a nil registry yields nil metrics
+// and a metrics-free run; a real registry records goodput, retrains, and
+// the blockage gauge under cyclops_mmwave_* names.
+func TestMmWaveMetricsOnlyWithRegistry(t *testing.T) {
+	if m := NewMmWaveMetrics(nil); m != nil {
+		t.Fatal("NewMmWaveMetrics(nil) must return nil")
+	}
+
+	reg := obs.NewRegistry()
+	l := NewMmWave()
+	l.Metrics = NewMmWaveMetrics(reg)
+	prog := handMotion(4)
+	l.Run(prog, func(at time.Duration) bool { return at < time.Second })
+
+	exp := reg.Exposition()
+	wantRetrains := int(prog.Duration()/l.TrainInterval) + 1
+	if want := fmt.Sprintf("cyclops_mmwave_retrain_total %d", wantRetrains); !strings.Contains(exp, want) {
+		t.Errorf("exposition missing %q:\n%s", want, exp)
+	}
+	ticks := int(prog.Duration()/time.Millisecond) + 1
+	if want := fmt.Sprintf("cyclops_mmwave_goodput_gbps_count %d", ticks); !strings.Contains(exp, want) {
+		t.Errorf("exposition missing %q:\n%s", want, exp)
+	}
+	// The last tick is unblocked, so the gauge must have settled at 0.
+	if !strings.Contains(exp, "cyclops_mmwave_blockage_loss_db 0") {
+		t.Errorf("blockage gauge not settled at 0:\n%s", exp)
 	}
 }

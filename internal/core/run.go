@@ -73,6 +73,14 @@ type RunOptions struct {
 	// without faults there is nothing to recover from). Default (nil):
 	// single-TX, bit-identical to the historical run loop.
 	Handover *HandoverOptions
+	// Hybrid, when non-nil, arms the hybrid FSO + mmWave link policy: the
+	// baseline 802.11ad link runs side by side over its own netem stream
+	// and delivered traffic fails over to it on a sustained SLO breach,
+	// re-admitting FSO after re-lock plus a clear window. Unlike Handover
+	// it does not require faults — a breach can come from misalignment
+	// alone. Default (nil): FSO only, bit-identical to the historical run
+	// loop (results and metrics exposition).
+	Hybrid *HybridOptions
 }
 
 // SolveGateOptions configure pose-delta solver gating
@@ -201,6 +209,11 @@ func (o RunOptions) Validate() error {
 			return fmt.Errorf("core: invalid RunOptions: negative Handover duration")
 		}
 	}
+	if o.Hybrid != nil {
+		if err := o.Hybrid.validate(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -259,6 +272,13 @@ type RunResult struct {
 	// Handovers counts make-before-break TX switches (failbacks to the
 	// primary included). Always zero without RunOptions.Handover.
 	Handovers int
+	// Hybrid is the link policy's contribution: failovers, re-admits,
+	// time on the mmWave secondary, and the delivered availability across
+	// both media. Always nil without RunOptions.Hybrid (on hybrid runs,
+	// Windows and the netem metrics follow the *delivered* stream —
+	// switching medium with the policy — while UpFraction still reports
+	// the FSO link's own state).
+	Hybrid *HybridStats
 	// Metrics is this run's own observability contribution (a diff
 	// against the registry's state when Run started, so shared
 	// registries still yield per-run numbers).
@@ -373,6 +393,15 @@ func (s *System) Run(opts RunOptions) (RunResult, error) {
 		}()
 	}
 
+	// Hybrid FSO + mmWave policy: the secondary link joins the run with
+	// its instruments registered here (restored after, like the plant's),
+	// and the policy controller records under the cyclops_policy_* names.
+	var hy *hyState
+	if opts.Hybrid != nil {
+		hy = newHyState(opts.Hybrid, reg)
+		defer func() { hy.sec.Metrics = hy.prevSecMetrics }()
+	}
+
 	// Initial state: align at the program's first pose. Under fault
 	// injection a failed initial solve is an outage to recover from, not
 	// a reason to abort.
@@ -404,6 +433,7 @@ func (s *System) Run(opts RunOptions) (RunResult, error) {
 		inj:         inj,
 		sup:         sup,
 		ho:          ho,
+		hy:          hy,
 		gt:          s.Map.TXModel(s.KTX).Compile(),
 		lastV:       first.V,
 		pendingAt:   -1,
@@ -440,6 +470,9 @@ func (s *System) Run(opts RunOptions) (RunResult, error) {
 		}
 	}
 	res.Windows = stream.Finish()
+	if hy != nil {
+		res.Hybrid = hy.finish(l.totalTicks)
+	}
 	if l.totalTicks > 0 {
 		res.UpFraction = float64(l.upTicks) / float64(l.totalTicks)
 	}
@@ -477,6 +510,7 @@ type runLoop struct {
 	inj    *fault.Schedule
 	sup    *Supervisor
 	ho     *hoState
+	hy     *hyState
 	gt     gma.Compiled
 
 	res RunResult
@@ -721,7 +755,11 @@ func (l *runLoop) step(at time.Duration) {
 			l.res.DegradedTicks++
 		}
 	}
-	if degraded {
+	if l.hy != nil {
+		// Hybrid policy owns delivered-traffic accounting: it routes
+		// l.stream to whichever medium carries this tick.
+		l.hyTick(at, pose, fs, power, up, degraded)
+	} else if degraded {
 		// Graceful degradation: the stream's clock advances but
 		// accounting freezes — a long outage is marked, not billed
 		// as measured zero-throughput windows.

@@ -23,6 +23,11 @@
 //     output range; commands clamp to a reduced |voltage| limit.
 //   - SolverDiverge: transient pointing-solver divergence (degenerate
 //     steering basis, poisoned model state) — the solve attempt fails.
+//   - HazeFade: slow environmental attenuation (venue haze, fog-machine
+//     output, dust) — a seeded ramp-up/plateau/ramp-down envelope seconds
+//     long, vs the milliseconds of an occlusion trapezoid. Overlapping
+//     haze windows sum, and the haze total adds to the occlusion maximum:
+//     fog in the air and a hand through the beam attenuate independently.
 //
 // # Determinism contract
 //
@@ -58,6 +63,10 @@ const (
 	GalvoSaturation
 	// SolverDiverge makes pointing solves fail for the window.
 	SolverDiverge
+	// HazeFade is a slow environmental attenuation ramp. New kinds append
+	// here: each class seeds its rand stream from the Kind value, so
+	// renumbering would reshuffle every pinned schedule.
+	HazeFade
 
 	numKinds
 )
@@ -77,6 +86,8 @@ func (k Kind) String() string {
 		return "galvo-saturation"
 	case SolverDiverge:
 		return "solver-diverge"
+	case HazeFade:
+		return "haze-fade"
 	}
 	return fmt.Sprintf("fault.Kind(%d)", uint8(k))
 }
@@ -86,27 +97,39 @@ type Window struct {
 	Kind  Kind
 	Start time.Duration
 	End   time.Duration
-	// DepthDB is the plateau attenuation of an Occlusion window, dB.
+	// DepthDB is the plateau attenuation of an Occlusion or HazeFade
+	// window, dB.
 	DepthDB float64
-	// Ramp is the occlusion edge time: attenuation ramps linearly from 0
-	// to DepthDB over Ramp at the leading edge and back down at the
-	// trailing edge. Zero means a hard-edged obstruction.
+	// Ramp is the attenuation edge time: attenuation ramps linearly from 0
+	// to DepthDB over Ramp at the leading edge (and, when RampDown is
+	// zero, back down over Ramp at the trailing edge). Zero means a
+	// hard-edged obstruction.
 	Ramp time.Duration
+	// RampDown, when nonzero, is a separate trailing-edge ramp time —
+	// haze dissipates slower than it rolls in. Zero keeps the historical
+	// symmetric trapezoid (trailing edge uses Ramp).
+	RampDown time.Duration
 	// Limit is the reduced |voltage| bound of a GalvoSaturation window.
 	Limit float64
 }
 
-// attenAt evaluates the occlusion trapezoid at time t (t in [Start, End)).
+// attenAt evaluates the attenuation envelope at time t (t in [Start, End)):
+// a trapezoid with independent leading (Ramp) and trailing (RampDown,
+// defaulting to Ramp) edge times.
 func (w Window) attenAt(t time.Duration) float64 {
-	if w.Ramp <= 0 {
+	up, down := w.Ramp, w.RampDown
+	if down <= 0 {
+		down = up
+	}
+	if up <= 0 && down <= 0 {
 		return w.DepthDB
 	}
 	frac := 1.0
-	if in := t - w.Start; in < w.Ramp {
-		frac = float64(in) / float64(w.Ramp)
+	if in := t - w.Start; up > 0 && in < up {
+		frac = float64(in) / float64(up)
 	}
-	if out := w.End - t; out < w.Ramp {
-		if f := float64(out) / float64(w.Ramp); f < frac {
+	if out := w.End - t; down > 0 && out < down {
+		if f := float64(out) / float64(down); f < frac {
 			frac = f
 		}
 	}
@@ -116,8 +139,13 @@ func (w Window) attenAt(t time.Duration) float64 {
 // State is the instantaneous fault condition a consumer applies at one
 // simulation instant.
 type State struct {
-	// AttenDB is the extra optical path attenuation, dB (0 = clear path).
+	// AttenDB is the total extra optical path attenuation, dB (0 = clear
+	// path): the deepest active occlusion plus the summed haze fades.
 	AttenDB float64
+	// HazeDB is the environmental (HazeFade) component of AttenDB —
+	// consumers that model RF blockage separately subtract it to recover
+	// the physical-obstruction component (haze does not block mmWave).
+	HazeDB float64
 	// TrackerBlackout: the report due now is dropped.
 	TrackerBlackout bool
 	// TrackerFreeze: the report due now repeats the last pose.
@@ -151,8 +179,11 @@ type Schedule struct {
 func (s *Schedule) Empty() bool { return s == nil || len(s.Windows) == 0 }
 
 // At reduces the schedule to the instantaneous fault state at time t.
-// Overlapping occlusions take the deepest attenuation; overlapping
-// saturations take the tightest limit.
+// Overlapping occlusions take the deepest attenuation, overlapping haze
+// fades sum (independent scattering media stack), and the haze total adds
+// to the occlusion maximum; overlapping saturations take the tightest
+// limit. Every reduction is commutative, so the injected dB sequence is
+// invariant under any permutation of the window list.
 func (s *Schedule) At(t time.Duration) State {
 	var st State
 	if s == nil {
@@ -183,8 +214,11 @@ func (s *Schedule) At(t time.Duration) State {
 			}
 		case SolverDiverge:
 			st.SolverDiverge = true
+		case HazeFade:
+			st.HazeDB += w.attenAt(t)
 		}
 	}
+	st.AttenDB += st.HazeDB
 	return st
 }
 
@@ -200,6 +234,9 @@ func (s *Schedule) String() string {
 		fmt.Fprintf(&b, "  %-16s %v-%v", w.Kind, w.Start, w.End)
 		if w.Kind == Occlusion {
 			fmt.Fprintf(&b, " depth %.1fdB ramp %v", w.DepthDB, w.Ramp)
+		}
+		if w.Kind == HazeFade {
+			fmt.Fprintf(&b, " depth %.1fdB ramp %v/%v", w.DepthDB, w.Ramp, w.RampDown)
 		}
 		if w.Kind == GalvoSaturation {
 			fmt.Fprintf(&b, " limit %.2fV", w.Limit)
@@ -235,6 +272,15 @@ type Config struct {
 	// SaturationLimit is the reduced |voltage| bound during saturation.
 	SaturationLimit float64
 	Diverge         ClassConfig
+
+	Haze ClassConfig
+	// HazeDepthDB bounds the uniform per-episode plateau attenuation of a
+	// haze fade.
+	HazeDepthDB [2]float64
+	// HazeRampUp and HazeRampDown bound the uniform per-episode leading
+	// and trailing edge times (haze clears slower than it rolls in).
+	HazeRampUp   [2]time.Duration
+	HazeRampDown [2]time.Duration
 }
 
 // DefaultConfig is a moderately hostile mix of every class — the
@@ -253,6 +299,21 @@ func DefaultConfig() Config {
 		Saturation:       ClassConfig{PerMin: 1, MinDur: 200 * time.Millisecond, MaxDur: 500 * time.Millisecond},
 		SaturationLimit:  0.5,
 		Diverge:          ClassConfig{PerMin: 4, MinDur: 30 * time.Millisecond, MaxDur: 120 * time.Millisecond},
+	}
+}
+
+// DefaultHazeConfig is the haze-only environmental-fade schedule the
+// cyclops-sim -haze flag and the fig16-hybrid haze-ramp arm use: episodes
+// seconds long with multi-second edges, deep enough at the plateau to
+// push the optical budget below sensitivity. It is deliberately a
+// separate config from DefaultConfig — the chaos demo schedule stays
+// byte-identical — and composes with it by copying the Haze* fields.
+func DefaultHazeConfig() Config {
+	return Config{
+		Haze:         ClassConfig{PerMin: 2, MinDur: 6 * time.Second, MaxDur: 12 * time.Second},
+		HazeDepthDB:  [2]float64{18, 30},
+		HazeRampUp:   [2]time.Duration{1 * time.Second, 3 * time.Second},
+		HazeRampDown: [2]time.Duration{2 * time.Second, 5 * time.Second},
 	}
 }
 
@@ -299,6 +360,12 @@ func Plan(cfg Config, seed int64, dur time.Duration) Schedule {
 		w.Limit = cfg.SaturationLimit
 	})
 	plan(SolverDiverge, cfg.Diverge, nil)
+	plan(HazeFade, cfg.Haze, func(rng *rand.Rand, w *Window) {
+		lo, hi := cfg.HazeDepthDB[0], cfg.HazeDepthDB[1]
+		w.DepthDB = lo + rng.Float64()*(hi-lo)
+		w.Ramp = durBetween(rng, cfg.HazeRampUp)
+		w.RampDown = durBetween(rng, cfg.HazeRampDown)
+	})
 
 	sort.SliceStable(s.Windows, func(i, j int) bool {
 		if s.Windows[i].Start != s.Windows[j].Start {
@@ -307,6 +374,15 @@ func Plan(cfg Config, seed int64, dur time.Duration) Schedule {
 		return s.Windows[i].Kind < s.Windows[j].Kind
 	})
 	return s
+}
+
+// durBetween draws a uniform duration from the inclusive-exclusive range
+// r; a degenerate range pins the value to r[0].
+func durBetween(rng *rand.Rand, r [2]time.Duration) time.Duration {
+	if r[1] <= r[0] {
+		return r[0]
+	}
+	return r[0] + time.Duration(rng.Float64()*float64(r[1]-r[0]))
 }
 
 // OutageMetrics is the shared outage instrument pair. Both consumers of

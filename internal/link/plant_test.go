@@ -354,3 +354,100 @@ func TestMonitorRelockBoundaryExact(t *testing.T) {
 		})
 	}
 }
+
+// A gradual fade — attenuation ramping linearly through the sensitivity
+// threshold, the HazeFade envelope shape — must hit the exact same
+// boundary samples as a step fade: light is power >= sensitivity (the
+// sample exactly at sensitivity rides through), the LOS clock starts at
+// the first strictly-dark sample, and the unlock lands on the sample
+// exactly HoldOver later. PR 4 fixed an off-by-one at the relock
+// boundary; this pins the untested ramp path on both edges.
+func TestMonitorGradualFadeBoundaries(t *testing.T) {
+	ms := func(x int) time.Duration { return time.Duration(x) * time.Millisecond }
+	// Power under a 1 dB/ms attenuation ramp starting at rampAt, from a
+	// -20 dBm aligned baseline against SFP10GZR's -25 dBm sensitivity:
+	// the ramp crosses sensitivity exactly at rampAt+5ms.
+	fade := func(at, rampAt time.Duration) float64 {
+		atten := 0.0
+		if at > rampAt {
+			atten = float64(at-rampAt) / float64(time.Millisecond)
+		}
+		return -20 - atten
+	}
+	type sample struct {
+		at   time.Duration
+		dbm  float64
+		want bool
+	}
+	cases := []struct {
+		name     string
+		holdOver time.Duration
+		samples  []sample
+	}{
+		{
+			// The sample at exactly sensitivity (-25 at rampAt+5) is
+			// light; the first strictly-dark sample (rampAt+6) starts the
+			// LOS clock; the unlock lands exactly HoldOver later.
+			name:     "ramp crosses threshold mid-window, 5ms holdover",
+			holdOver: ms(5),
+			samples: []sample{
+				{ms(100), fade(ms(100), ms(100)), true},  // ramp starts
+				{ms(104), fade(ms(104), ms(100)), true},  // -24: above
+				{ms(105), fade(ms(105), ms(100)), true},  // -25: at threshold = light
+				{ms(106), fade(ms(106), ms(100)), true},  // -26: dark, clock starts
+				{ms(110), fade(ms(110), ms(100)), true},  // 4ms dark: rides through
+				{ms(111), fade(ms(111), ms(100)), false}, // 5ms dark: unlock boundary
+			},
+		},
+		{
+			// Zero holdover: the first strictly-dark sample itself drops
+			// the link — one sample after the at-threshold one.
+			name:     "ramp with zero holdover drops on first dark sample",
+			holdOver: 0,
+			samples: []sample{
+				{ms(105), fade(ms(105), ms(100)), true},  // -25: still light
+				{ms(106), fade(ms(106), ms(100)), false}, // -26: immediate drop
+			},
+		},
+		{
+			// A shallow fade that bottoms out 3 dB below sensitivity and
+			// recovers before the window elapses never unlocks, and the
+			// intervening light re-arms the full window for a later fade.
+			name:     "sub-holdover fade dip rides through and resets the clock",
+			holdOver: ms(5),
+			samples: []sample{
+				{ms(10), -26, true},  // dark, clock starts
+				{ms(12), -27, true},  // 2ms dark
+				{ms(14), -25, true},  // back at threshold: light, clock reset
+				{ms(20), -26, true},  // new fade, new clock
+				{ms(24), -28, true},  // 4ms dark: still inside the window
+				{ms(25), -29, false}, // 5ms dark: unlock
+			},
+		},
+		{
+			// Recovery side: power ramping back up re-lights at the exact
+			// sensitivity sample and the relock clock runs from it.
+			name:     "gradual recovery relocks exactly RelockDelay after re-light",
+			holdOver: ms(5),
+			samples: []sample{
+				{ms(0), -30, true},         // dark, clock starts
+				{ms(5), -30, false},        // unlock at the boundary
+				{ms(10), -26, false},       // rising but still dark
+				{ms(11), -25, false},       // re-light: relock clock starts
+				{ms(3010), -24, false},     // 2999ms of light: not yet
+				{ms(11 + 3000), -24, true}, // exactly RelockDelay: up
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := NewMonitor(optics.SFP10GZR)
+			m.HoldOver = tc.holdOver
+			for _, s := range tc.samples {
+				if got := m.Observe(s.at, s.dbm); got != s.want {
+					t.Fatalf("Observe(%v, %.1f dBm) = %v, want %v", s.at, s.dbm, got, s.want)
+				}
+			}
+		})
+	}
+}

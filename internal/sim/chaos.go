@@ -90,6 +90,18 @@ type ChaosTraceResult struct {
 	// standby TX (TXCount > 1 only): those cost HandoverDark of blocked
 	// time instead of an outage.
 	Handovers int
+	// Failovers / Readmits / SecondarySlots / MinSecondaryDwell are the
+	// hybrid link policy's bookkeeping (SimulateTraceHybrid only; zero on
+	// every other path): medium switches, time delivered traffic rode the
+	// mmWave secondary, and the shortest completed secondary dwell.
+	Failovers         int
+	Readmits          int
+	SecondarySlots    int
+	MinSecondaryDwell time.Duration
+	// MeanGoodputGbps is the delivered goodput averaged over all slots
+	// (hybrid and mmWave-only arms; zero on the plain FSO paths, which
+	// report availability only).
+	MeanGoodputGbps float64
 }
 
 // SimulateTraceChaos runs the slot model over one trace with the given

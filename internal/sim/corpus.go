@@ -19,6 +19,8 @@ import (
 	"context"
 	"fmt"
 
+	"time"
+
 	"cyclops/internal/fault"
 	"cyclops/internal/obs"
 	"cyclops/internal/parallel"
@@ -83,6 +85,14 @@ type CorpusChaos struct {
 	// PaperChaos25G and a zero embedded AvailabilityParams to the run's
 	// Params.
 	Params ChaosParams
+	// Hybrid, when non-nil, runs the hybrid FSO + mmWave policy arm
+	// (SimulateTraceHybrid) instead of the plain chaos model. Mutually
+	// exclusive with MmWaveOnly.
+	Hybrid *HybridSlotParams
+	// MmWaveOnly, when non-nil, runs the mmWave-only arm
+	// (SimulateTraceMmWave): the fault schedules still plan per trace,
+	// but only their physical-obstruction component matters.
+	MmWaveOnly *MmWaveSlotParams
 }
 
 // CorpusOptions configures RunCorpus. The zero value is valid: Paper25G
@@ -159,6 +169,9 @@ func (o *CorpusOptions) Validate() error {
 		if o.Chaos.Params.AvailabilityParams == (AvailabilityParams{}) {
 			o.Chaos.Params.AvailabilityParams = o.Params
 		}
+		if o.Chaos.Hybrid != nil && o.Chaos.MmWaveOnly != nil {
+			return fmt.Errorf("sim: CorpusChaos.Hybrid and MmWaveOnly are mutually exclusive")
+		}
 	}
 	return nil
 }
@@ -184,6 +197,16 @@ type CorpusAggregate struct {
 	Outages      int
 	BlockedSlots int
 	Handovers    int
+	// Failovers, Readmits, SecondarySlots total the hybrid policy's
+	// bookkeeping; MinSecondaryDwell is the shortest completed secondary
+	// dwell across the corpus (zero when none completed); GoodputSlotSum
+	// is Σ MeanGoodputGbps·Slots over traces, so the corpus-mean delivered
+	// goodput is GoodputSlotSum/Slots. All zero outside hybrid/mmWave arms.
+	Failovers         int
+	Readmits          int
+	SecondarySlots    int
+	MinSecondaryDwell time.Duration
+	GoodputSlotSum    float64
 	// Metrics folds the per-trace observability snapshots — per trace
 	// within a shard, then shard by shard, always in index order.
 	Metrics obs.Snapshot
@@ -208,6 +231,13 @@ func (a *CorpusAggregate) addTrace(r ChaosTraceResult, snap obs.Snapshot) {
 	a.Outages += r.Outages
 	a.BlockedSlots += r.BlockedSlots
 	a.Handovers += r.Handovers
+	a.Failovers += r.Failovers
+	a.Readmits += r.Readmits
+	a.SecondarySlots += r.SecondarySlots
+	if r.MinSecondaryDwell > 0 && (a.MinSecondaryDwell == 0 || r.MinSecondaryDwell < a.MinSecondaryDwell) {
+		a.MinSecondaryDwell = r.MinSecondaryDwell
+	}
+	a.GoodputSlotSum += r.MeanGoodputGbps * float64(r.Slots)
 	a.Metrics = a.Metrics.Merge(snap)
 }
 
@@ -233,6 +263,13 @@ func (a *CorpusAggregate) merge(o CorpusAggregate) {
 	a.Outages += o.Outages
 	a.BlockedSlots += o.BlockedSlots
 	a.Handovers += o.Handovers
+	a.Failovers += o.Failovers
+	a.Readmits += o.Readmits
+	a.SecondarySlots += o.SecondarySlots
+	if o.MinSecondaryDwell > 0 && (a.MinSecondaryDwell == 0 || o.MinSecondaryDwell < a.MinSecondaryDwell) {
+		a.MinSecondaryDwell = o.MinSecondaryDwell
+	}
+	a.GoodputSlotSum += o.GoodputSlotSum
 	a.Metrics = a.Metrics.Merge(o.Metrics)
 }
 
@@ -288,7 +325,13 @@ func RunCorpus(src CorpusSource, opts CorpusOptions) (CorpusRunResult, error) {
 		maxShards:    opts.MaxShards,
 	}
 	if opts.Chaos != nil {
-		cfg.chaos = &chaosRun{cfg: opts.Chaos.Config, seed: opts.Chaos.Seed, params: opts.Chaos.Params}
+		cfg.chaos = &chaosRun{
+			cfg:    opts.Chaos.Config,
+			seed:   opts.Chaos.Seed,
+			params: opts.Chaos.Params,
+			hybrid: opts.Chaos.Hybrid,
+			mmOnly: opts.Chaos.MmWaveOnly,
+		}
 	}
 	return runCorpus(src, cfg)
 }
@@ -312,6 +355,8 @@ type chaosRun struct {
 	cfg    fault.Config
 	seed   int64
 	params ChaosParams
+	hybrid *HybridSlotParams
+	mmOnly *MmWaveSlotParams
 }
 
 // shardOut is one shard's contribution, reduced serially by the caller.
@@ -418,7 +463,14 @@ func runShard(src CorpusSource, cfg corpusConfig, lo, hi int) shardOut {
 		var r ChaosTraceResult
 		if cfg.chaos != nil {
 			sched := fault.Plan(cfg.chaos.cfg, cfg.chaos.seed+7919*int64(i), tr.Duration())
-			r = SimulateTraceChaos(tr, cfg.chaos.params, &sched, reg)
+			switch {
+			case cfg.chaos.hybrid != nil:
+				r = SimulateTraceHybrid(tr, cfg.chaos.params, *cfg.chaos.hybrid, &sched, reg)
+			case cfg.chaos.mmOnly != nil:
+				r = SimulateTraceMmWave(tr, cfg.chaos.params, *cfg.chaos.mmOnly, &sched, reg)
+			default:
+				r = SimulateTraceChaos(tr, cfg.chaos.params, &sched, reg)
+			}
 		} else {
 			// The clean path keeps the event-driven fast loop — the chaos
 			// per-slot loop is never paid without a schedule.

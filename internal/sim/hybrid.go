@@ -1,0 +1,206 @@
+// The hybrid and mmWave-only slot models: the corpus-scale counterparts
+// of core.Run's RunOptions.Hybrid. The FSO side is the chaos slot model
+// unchanged; the mmWave side is a two-constant caricature of
+// baseline.MmWaveLink (a 3° beam shrugs off every head speed in the
+// corpus, so only body blockage and its short MAC-level recovery matter);
+// the policy.Controller between them is the same state machine the
+// hardware path drives, fed one verdict per slot.
+package sim
+
+import (
+	"time"
+
+	"cyclops/internal/fault"
+	"cyclops/internal/obs"
+	"cyclops/internal/policy"
+	"cyclops/internal/trace"
+)
+
+// MmWaveSlotParams parameterize the slot-model mmWave link.
+type MmWaveSlotParams struct {
+	// PeakGoodputGbps is the delivered rate while the link is up (the
+	// 802.11ad single-carrier peak; the slot model does not grade the MCS
+	// ladder — a beam this wide is either carrying or blocked).
+	PeakGoodputGbps float64
+	// BlockAttenDB is the physical-obstruction depth at or above which
+	// the mmWave path counts as body-blocked. The haze component of a
+	// fault schedule never blocks it — fog is transparent at 60 GHz.
+	BlockAttenDB float64
+	// Recovery is the MAC-level reconnect time after a blockage clears
+	// (no optical re-lock; beam retraining plus association).
+	Recovery time.Duration
+}
+
+// PaperMmWave returns the slot-model constants matching
+// baseline.NewMmWave: the 4.6 Gbps 802.11ad peak, the 10 dB blocking
+// threshold shared with PaperChaos25G, and the 30 ms stream recovery
+// baseline.Run models.
+func PaperMmWave() MmWaveSlotParams {
+	return MmWaveSlotParams{
+		PeakGoodputGbps: 4.6,
+		BlockAttenDB:    10,
+		Recovery:        30 * time.Millisecond,
+	}
+}
+
+// HybridSlotParams parameterize a hybrid corpus arm.
+type HybridSlotParams struct {
+	// Policy tunes the failover hysteresis (zero fields: the policy
+	// package defaults — 50 ms breach, 500 ms clear).
+	Policy policy.Options
+	// Secondary is the mmWave side (zero value: PaperMmWave()).
+	Secondary MmWaveSlotParams
+	// PrimaryGoodputGbps is the delivered rate while the FSO side carries
+	// (zero: the 25G transceiver's 23.5 Gbps optimal goodput).
+	PrimaryGoodputGbps float64
+}
+
+func (p *HybridSlotParams) defaults() {
+	if p.Secondary == (MmWaveSlotParams{}) {
+		p.Secondary = PaperMmWave()
+	}
+	if p.PrimaryGoodputGbps <= 0 {
+		p.PrimaryGoodputGbps = 23.5
+	}
+}
+
+// mmSlotState is the slot-model mmWave link: blocked while the physical
+// obstruction is at depth, then down for the MAC recovery tail.
+type mmSlotState struct {
+	p            MmWaveSlotParams
+	recoverUntil time.Duration
+}
+
+// step advances one slot and reports whether the mmWave link is up.
+func (m *mmSlotState) step(at time.Duration, occlDB float64) bool {
+	if m.p.BlockAttenDB > 0 && occlDB >= m.p.BlockAttenDB {
+		m.recoverUntil = at + m.p.Recovery
+		return false
+	}
+	return at >= m.recoverUntil
+}
+
+// SimulateTraceHybrid runs the hybrid link policy over one trace: the FSO
+// chaos slot model and the mmWave slot link advance together, the policy
+// controller watches the FSO verdict slot by slot, and the returned
+// result's availability fields (OffSlots, OnFraction, FrameHistogram) are
+// rebuilt for the *delivered* stream — whichever medium the policy had
+// carrying each slot. Outages and BlockedSlots keep the FSO side's
+// bookkeeping (the episodes the policy routed around), as do the
+// cyclops_sim_* and cyclops_outage_* metrics recorded into reg; the
+// delivered story is in the result and the cyclops_policy_* instruments.
+func SimulateTraceHybrid(tr trace.Trace, p ChaosParams, hp HybridSlotParams, sched *fault.Schedule, reg *obs.Registry) ChaosTraceResult {
+	hp.defaults()
+	ctl := policy.New(hp.Policy, policy.NewMetrics(reg))
+	mm := mmSlotState{p: hp.Secondary}
+
+	var hist [31]int
+	offSlots, slotInFrame, frameOff := 0, 0, 0
+	secondarySlots := 0
+	var goodputSum float64
+
+	res := SimulateTraceChaosSlots(tr, p, sched, reg, func(slot int, off bool) {
+		at := time.Duration(slot) * p.Slot
+		var fs fault.State
+		if !sched.Empty() {
+			fs = sched.At(at)
+		}
+		mmUp := mm.step(at, fs.AttenDB-fs.HazeDB)
+		st := ctl.Observe(at, p.Slot, !off)
+
+		deliveredOff := off
+		if st.OnSecondary() {
+			secondarySlots++
+			deliveredOff = !mmUp
+			if mmUp {
+				goodputSum += hp.Secondary.PeakGoodputGbps
+			}
+		} else if !off {
+			goodputSum += hp.PrimaryGoodputGbps
+		}
+		if deliveredOff {
+			offSlots++
+			frameOff++
+		}
+		slotInFrame++
+		if slotInFrame == 30 {
+			hist[frameOff]++
+			slotInFrame, frameOff = 0, 0
+		}
+	})
+	if slotInFrame > 0 {
+		hist[frameOff]++
+	}
+	if res.Slots == 0 {
+		return res
+	}
+	res.OffSlots = offSlots
+	res.FrameHistogram = hist
+	res.OnFraction = 1 - float64(offSlots)/float64(res.Slots)
+	res.MeanGoodputGbps = goodputSum / float64(res.Slots)
+	res.Failovers = ctl.Failovers()
+	res.Readmits = ctl.Readmits()
+	res.SecondarySlots = secondarySlots
+	res.MinSecondaryDwell = ctl.MinSecondaryDwell()
+	return res
+}
+
+// SimulateTraceMmWave runs the mmWave-only arm over one trace: no FSO
+// model at all — the slot link is up except while a physical obstruction
+// (the fault schedule's non-haze attenuation) is at blocking depth or its
+// MAC recovery tail is running. Misalignment never costs a slot (a 3°
+// beam tolerates the whole corpus), so every off slot is a BlockedSlot
+// and every blockage episode an Outage. Records cyclops_sim_* into reg.
+func SimulateTraceMmWave(tr trace.Trace, p ChaosParams, mp MmWaveSlotParams, sched *fault.Schedule, reg *obs.Registry) ChaosTraceResult {
+	if mp == (MmWaveSlotParams{}) {
+		mp = PaperMmWave()
+	}
+	res := ChaosTraceResult{TraceResult: TraceResult{ID: tr.ID}}
+	if len(tr.Samples) < 2 || p.Slot <= 0 {
+		return res
+	}
+	mm := mmSlotState{p: mp}
+	end := tr.Duration()
+	frameOff, slotInFrame := 0, 0
+	wasBlocked := false
+	var goodputSum float64
+	for at := time.Duration(0); at < end; at += p.Slot {
+		var fs fault.State
+		if !sched.Empty() {
+			fs = sched.At(at)
+		}
+		occl := fs.AttenDB - fs.HazeDB
+		up := mm.step(at, occl)
+		if blocked := mp.BlockAttenDB > 0 && occl >= mp.BlockAttenDB; blocked {
+			if !wasBlocked {
+				res.Outages++
+			}
+			wasBlocked = true
+		} else {
+			wasBlocked = false
+		}
+
+		res.Slots++
+		if up {
+			goodputSum += mp.PeakGoodputGbps
+		} else {
+			res.OffSlots++
+			res.BlockedSlots++
+			frameOff++
+		}
+		slotInFrame++
+		if slotInFrame == 30 {
+			res.FrameHistogram[frameOff]++
+			slotInFrame, frameOff = 0, 0
+		}
+	}
+	if slotInFrame > 0 {
+		res.FrameHistogram[frameOff]++
+	}
+	if res.Slots > 0 {
+		res.OnFraction = 1 - float64(res.OffSlots)/float64(res.Slots)
+		res.MeanGoodputGbps = goodputSum / float64(res.Slots)
+	}
+	recordTrace(reg, res.Slots, res.OffSlots, res.OnFraction)
+	return res
+}

@@ -137,6 +137,13 @@ func Experiments() []Experiment {
 			}
 			return r, nil
 		}},
+		experimentFunc{"fig16-hybrid", func(s int64) (Result, error) {
+			r, err := Fig16Hybrid(s)
+			if err != nil {
+				return nil, err
+			}
+			return r, nil
+		}},
 		experimentFunc{"convergence", func(s int64) (Result, error) {
 			r, err := Convergence(s)
 			if err != nil {

@@ -11,7 +11,7 @@ func TestExperimentsRegistryNames(t *testing.T) {
 	want := []string{
 		"fig3", "table1", "fig11", "table2", "tp",
 		"fig13", "fig14", "fig15", "table3", "fig16", "fig16-faults",
-		"fig16-handover", "fig16-arena", "convergence", "ablations", "extensions",
+		"fig16-handover", "fig16-arena", "fig16-hybrid", "convergence", "ablations", "extensions",
 	}
 	exps := Experiments()
 	if len(exps) != len(want) {

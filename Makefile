@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race lint lint-smoke verify bench bench-hotpath alloc-check metrics-smoke chaos-smoke handover-smoke arena-smoke hybrid-smoke mem-check clean
+.PHONY: all build vet test race lint lint-smoke lint-graph-smoke verify bench bench-hotpath alloc-check metrics-smoke chaos-smoke handover-smoke arena-smoke hybrid-smoke mem-check clean
 
 all: verify
 
@@ -16,16 +16,21 @@ test:
 race:
 	$(GO) test -race -timeout 30m ./...
 
-# Static gate: gofmt-clean, go vet-clean, and zero unsuppressed
-# cyclops-vet findings (the repo's own invariant linter — determinism,
-# hot-path, metrics hygiene, error discipline; see DESIGN.md §10).
-# gofmt -l prints offending files; the test -z fails the target on any
-# output.
+# Static gate: gofmt-clean, go vet-clean, and zero fresh cyclops-vet
+# findings against the committed baseline (the repo's own interprocedural
+# invariant linter — determinism taint, transitive hot-path purity,
+# opt-in contracts, metrics hygiene, error discipline; see DESIGN.md §10
+# and §15). The -json run reports its own wall time, which the recipe
+# echoes so lint cost stays visible in CI logs. gofmt -l prints
+# offending files; the test -n fails the target on any output.
 lint:
 	@fmtout="$$(gofmt -l cmd internal *.go 2>/dev/null)"; \
 	if [ -n "$$fmtout" ]; then echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
 	$(GO) vet ./...
-	$(GO) run ./cmd/cyclops-vet ./...
+	@out="$$($(GO) run ./cmd/cyclops-vet -json -baseline analysis-baseline.json ./...)" || \
+		{ echo "$$out"; echo "lint: fresh cyclops-vet findings (baseline them only with a review: make sure each is intended)"; exit 1; }; \
+	echo "$$out" | grep -o '"elapsed_ms": *[0-9]*' | \
+		awk -F': *' '{printf "lint: cyclops-vet wall time %d ms\n", $$2}'
 	@echo "lint: ok"
 
 # Lint self-test: cyclops-vet must exit non-zero on a tree with known
@@ -36,6 +41,18 @@ lint-smoke:
 		echo "lint-smoke: cyclops-vet passed a known-bad fixture"; exit 1; fi
 	@echo "lint-smoke: ok"
 
+# Interprocedural self-test: the taint fixture hides time.Now two hops
+# below the deterministic scope (internal/sim → geomx → util → time.Now);
+# cyclops-vet must both fail on it AND print the full call chain — a
+# graph rule that degrades into a direct-call check would pass the leaf
+# package and go silent.
+lint-graph-smoke:
+	@out="$$($(GO) run ./cmd/cyclops-vet -root internal/analysis/testdata/src/taint -module fixture 2>&1)"; \
+	if [ $$? -eq 0 ]; then echo "lint-graph-smoke: cyclops-vet passed the known-bad transitive fixture"; exit 1; fi; \
+	echo "$$out" | grep -q 'internal/sim.Run → geomx.Jitter → util.Stamp → time.Now' || \
+		{ echo "lint-graph-smoke: transitive chain missing from output:"; echo "$$out"; exit 1; }
+	@echo "lint-graph-smoke: ok"
+
 # Tier-1 gate: everything must build, lint clean, and pass the full test
 # suite under the race detector (the parallel experiment engine fans out
 # goroutines, so -race is part of the contract, not an extra).
@@ -43,6 +60,7 @@ verify:
 	$(GO) build ./...
 	$(MAKE) lint
 	$(MAKE) lint-smoke
+	$(MAKE) lint-graph-smoke
 	$(GO) test -race -timeout 30m ./...
 	$(MAKE) alloc-check
 	$(MAKE) metrics-smoke

@@ -1,29 +1,41 @@
 // Command cyclops-vet is the repo's invariant linter: a stdlib-only
 // static-analysis suite (go/parser + go/types; nothing added to go.mod)
-// that loads every non-test package of the module and enforces the
-// determinism, hot-path, metrics-hygiene, and error-discipline contracts
-// the runtime test suites can only catch after the fact.
+// that loads every non-test package of the module, builds the module-wide
+// static call graph, and enforces the determinism (direct + transitive
+// taint), float-determinism, hot-path purity (whole call tree),
+// metrics-hygiene, error-discipline, and opt-in-contract invariants the
+// runtime test suites can only catch after the fact.
 //
 // Usage:
 //
 //	cyclops-vet [flags] [./...]
 //
-//	-root dir     module root to analyze (default "."; go.mod located there)
-//	-module path  treat -root as a module with this path even without a
-//	              go.mod — used by fixture trees and the lint-smoke gate
-//	-list         print the rule catalog and exit
+//	-root dir       module root to analyze (default "."; go.mod located there)
+//	-module path    treat -root as a module with this path even without a
+//	                go.mod — used by fixture trees and the lint smoke gates
+//	-list           print the rule catalog and exit
+//	-json           emit a machine-readable report (module, packages,
+//	                elapsed_ms, findings, suppressed, baselined, stale)
+//	-baseline file  subtract grandfathered findings recorded in file;
+//	                only findings NOT in the baseline fail the build, and
+//	                stale entries (no longer occurring) warn
+//	-write-baseline file  write the current findings as a new baseline
+//	                and exit 0 (the rollout tool; review before committing)
 //
-// Findings print one per line as file:line:col: rule: message, sorted by
-// path and line, and the exit status is 1 when any unsuppressed finding
-// exists (2 on load/type-check errors). Zero findings prints nothing.
-// The rule catalog and the //cyclops: annotation grammar are documented
-// in DESIGN.md §10.
+// Without -json, findings print one per line as file:line:col: rule:
+// message, sorted by path and line. The exit status is 1 when any fresh
+// (unbaselined, unsuppressed) finding exists, 2 on load/type-check
+// errors; zero fresh findings exits 0. The rule catalog and the
+// //cyclops: annotation grammar are documented in DESIGN.md §10; the
+// call graph, taint semantics, and baseline workflow in §15.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"cyclops/internal/analysis"
 )
@@ -32,6 +44,9 @@ func main() {
 	root := flag.String("root", ".", "module root directory to analyze")
 	modPath := flag.String("module", "", "module path override (analyze -root without a go.mod, e.g. fixture trees)")
 	list := flag.Bool("list", false, "print the rule catalog and exit")
+	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON report")
+	baselinePath := flag.String("baseline", "", "baseline file of grandfathered findings to subtract")
+	writeBaseline := flag.String("write-baseline", "", "write current findings to this baseline file and exit 0")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
 			"usage: cyclops-vet [flags] [./...]\n\nFlags:\n")
@@ -58,6 +73,7 @@ func main() {
 		return
 	}
 
+	start := time.Now()
 	var mod *analysis.Module
 	var err error
 	if *modPath != "" {
@@ -71,11 +87,59 @@ func main() {
 	}
 
 	rep := analysis.Run(mod, analysis.Rules())
-	for _, f := range rep.Findings {
-		fmt.Println(f.String())
+	elapsed := time.Since(start)
+
+	if *writeBaseline != "" {
+		if err := analysis.NewBaseline(rep.Findings).Save(*writeBaseline); err != nil {
+			fmt.Fprintf(os.Stderr, "cyclops-vet: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "cyclops-vet: wrote %d finding(s) to %s\n", len(rep.Findings), *writeBaseline)
+		return
 	}
-	if len(rep.Findings) > 0 {
-		fmt.Fprintf(os.Stderr, "cyclops-vet: %d finding(s) in %d package(s)", len(rep.Findings), len(mod.Pkgs))
+
+	fresh := rep.Findings
+	baselined := 0
+	var stale []analysis.BaselineEntry
+	if *baselinePath != "" {
+		b, err := analysis.LoadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cyclops-vet: %v\n", err)
+			os.Exit(2)
+		}
+		fresh, baselined, stale = b.Filter(rep.Findings)
+	}
+
+	if *jsonOut {
+		out := analysis.JSONReport{
+			Module:     mod.Path,
+			Packages:   len(mod.Pkgs),
+			ElapsedMS:  elapsed.Milliseconds(),
+			Findings:   analysis.JSONFindings(fresh),
+			Suppressed: rep.Suppressed,
+			Baselined:  baselined,
+			Stale:      stale,
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "cyclops-vet: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range fresh {
+			fmt.Println(f.String())
+		}
+	}
+
+	for _, e := range stale {
+		fmt.Fprintf(os.Stderr, "cyclops-vet: stale baseline entry (finding no longer occurs; prune it): %s\n", e)
+	}
+	if len(fresh) > 0 {
+		fmt.Fprintf(os.Stderr, "cyclops-vet: %d finding(s) in %d package(s)", len(fresh), len(mod.Pkgs))
+		if baselined > 0 {
+			fmt.Fprintf(os.Stderr, " (%d baselined)", baselined)
+		}
 		if rep.Suppressed > 0 {
 			fmt.Fprintf(os.Stderr, " (%d suppressed by annotation)", rep.Suppressed)
 		}

@@ -282,6 +282,12 @@ func StandbyRing(cfg LinkConfig, rxSeed int64, count int, spacing float64) []*TX
 	return handover.StandbysFor(cfg, rxSeed, handover.RingPositions(count, spacing))
 }
 
+// SolveGateOptions arms pose-delta solver gating on a run: assigning the
+// pointer to RunOptions.SolveGate skips the P solve when the report's
+// pose delta since the last accepted solve is inside the tolerance cone.
+// nil (the default) leaves the gate off — byte-identical to baseline.
+type SolveGateOptions = core.SolveGateOptions
+
 // HybridOptions arms the hybrid FSO + mmWave link policy on a run: a
 // shadow mmWave link steps beside the optical plant, and when the FSO
 // power SLO breaches for the breach window the policy fails the stream

@@ -142,37 +142,40 @@ func Run(mod *Module, rules []Rule) Report {
 func Rules() []Rule {
 	return []Rule{
 		ruleDeterminism(),
+		ruleDeterminismTaint(),
+		ruleFloatDeterminism(),
 		ruleMapOrder(),
 		ruleHotPath(),
 		ruleMetrics(),
 		ruleErrDiscipline(),
+		ruleOptInContract(),
 	}
 }
 
-// deterministicPackages are the module-relative package paths whose
-// non-test code must be a pure function of explicit seeds: the experiment
-// engine and everything it fans out over. The determinism and map-order
-// rules scope to these (a trailing /... is implied).
-var deterministicPackages = []string{
-	"internal/arena",
-	"internal/core",
-	"internal/sim",
-	"internal/fault",
-	"internal/handover",
-	"internal/trace",
-	"internal/parallel",
-	"internal/obs",
-	"internal/netem",
-	"internal/policy",
+// deterministicScopeHoles are the module-relative package paths under
+// internal/ documented OUT of the deterministic scope, each with its
+// reason. Everything else under internal/ is in scope: the scope is
+// "all of internal/ minus documented holes", so a freshly added package
+// is covered by default instead of silently missing from an allowlist
+// that drifts. (A slice, not a map: this package is part of the scope's
+// tooling and practices what it preaches about map iteration order.)
+var deterministicScopeHoles = []struct {
+	path, reason string
+}{
+	{"internal/analysis", "offline build tooling that never runs inside an experiment; its own output order is pinned by TestReportDeterministic"},
 }
 
 // inDeterministicScope reports whether a package (by module-relative
-// path) is covered by the determinism rules.
+// path) is covered by the determinism rules: every package under
+// internal/ except the documented holes.
 func inDeterministicScope(rel string) bool {
-	for _, p := range deterministicPackages {
-		if rel == p || strings.HasPrefix(rel, p+"/") {
-			return true
+	if !strings.HasPrefix(rel, "internal/") {
+		return false
+	}
+	for _, h := range deterministicScopeHoles {
+		if rel == h.path || strings.HasPrefix(rel, h.path+"/") {
+			return false
 		}
 	}
-	return false
+	return true
 }

@@ -55,9 +55,9 @@ func TestFixtures(t *testing.T) {
 		{
 			fixture: "hotpath",
 			want: []string{
-				"hp/hp.go:11:7: hotpath: hot path Bad allocates with make: hoist the allocation out of the hot path",
-				"hp/hp.go:13:11: hotpath: hot path Bad: append result does not feed back into its slice (escapes/allocates); use the x = append(x, ...) form on a preallocated slice",
-				"hp/hp.go:15:9: hotpath: hot path Bad calls fmt.Errorf (allocates): precompute messages or use prebuilt errors",
+				"hp/hp.go:11:7: hotpath: hot path (*thing).Bad allocates with make: hoist the allocation out of the hot path",
+				"hp/hp.go:13:11: hotpath: hot path (*thing).Bad: append result does not feed back into its slice (escapes/allocates); use the x = append(x, ...) form on a preallocated slice",
+				"hp/hp.go:15:9: hotpath: hot path (*thing).Bad calls fmt.Errorf (allocates): precompute messages or use prebuilt errors",
 				"hp/hp.go:22:9: hotpath: hot path Box returns v as interface interface{} (allocates): return a concrete type or a prebuilt value",
 				"hp/hp.go:29:7: hotpath: hot path Convert converts to interface type interface{} (allocates)",
 				"hp/hp.go:31:7: hotpath: hot path Convert passes v as interface interface{} (allocates)",
@@ -82,6 +82,47 @@ func TestFixtures(t *testing.T) {
 				"internal/x/x.go:20:2: error-discipline: panic in internal/x: return an error, or annotate //cyclops:panic-ok <reason>",
 			},
 			suppressed: 2, // the discard-ok discard and the panic-ok panic in Checked
+		},
+		{
+			fixture: "taint",
+			want: []string{
+				"geomx/geomx.go:9:1: determinism-taint: geomx.Jitter is reachable from the deterministic scope and reaches time.Now: internal/sim.Run → geomx.Jitter → util.Stamp → time.Now — derive timestamps from the simulation clock or the seed",
+				"geomx/geomx.go:14:1: determinism-taint: geomx.Sorted is reachable from the deterministic scope and reaches range over map m: internal/sim.UsesSorted → geomx.Sorted → range over map m — extract sorted keys",
+				"geomx/geomx.go:24:1: determinism-taint: geomx.MakeFn is reachable from the deterministic scope and reaches time.Now: internal/sim.UsesFn → geomx.MakeFn → util.Stamp → time.Now — derive timestamps from the simulation clock or the seed",
+				"util/util.go:7:1: determinism-taint: util.Stamp is reachable from the deterministic scope and reaches time.Now: internal/sim.Run → geomx.Jitter → util.Stamp → time.Now — derive timestamps from the simulation clock or the seed",
+			},
+			suppressed: 0,
+		},
+		{
+			fixture: "hotpath2",
+			want: []string{
+				"hp/hp.go:14:2: hotpath: hot path Root: interface call (Writer).Write (unknown callee): every hot-path call must resolve statically so the whole tree is checkable; annotate //cyclops:alloc-ok <reason> to cut",
+				"hp/hp.go:15:2: hotpath: hot path Root: call through func value f (unknown callee): every hot-path call must resolve statically so the whole tree is checkable; annotate //cyclops:alloc-ok <reason> to cut",
+				"hp/hp.go:23:7: hotpath: hot path Root → helperAlloc allocates with make: hoist the allocation out of the hot path",
+				"hp/hp.go:33:13: hotpath: hot path Root → deepCaller → deep calls fmt.Sprintf (allocates): precompute messages or use prebuilt errors",
+			},
+			suppressed: 1, // the alloc-ok call-site cut in Root
+		},
+		{
+			fixture: "contract",
+			want: []string{
+				"consumer/consumer.go:13:2: opt-in-contract: switch on enum State has a default that silently swallows Busy, Done: handle every state or make the default panic",
+				"consumer/consumer.go:20:2: opt-in-contract: switch on enum State does not handle Done and has no default: a newly appended state would fall through silently",
+				"internal/core/opts.go:17:2: opt-in-contract: opt-in arm Gate on RunOptions has value type GateOptions: feature arms must be *GateOptions so nil means off and byte-identical to baseline",
+				"internal/core/opts.go:23:2: opt-in-contract: opt-in arm Plain (*PlainOptions) on RunOptions must document its nil default in the field doc comment",
+				"internal/core/opts.go:49:1: opt-in-contract: enum Mode: members declared outside its original const block; keep the enum a single append-only iota chain",
+				"internal/core/opts.go:55:2: opt-in-contract: enum Weird: first member W1 must be declared `= iota` to anchor the append-only chain",
+				"internal/core/opts.go:56:2: opt-in-contract: enum Weird: member W2 has an explicit value; append new members to the end of the iota chain instead",
+			},
+			suppressed: 2, // the contract-ok'd Tuned field and Annotated switch
+		},
+		{
+			fixture: "fma",
+			want: []string{
+				"helper/helper.go:7:1: float-determinism: helper.Fuse is reachable from the deterministic scope and reaches math.FMA: internal/sim.Via → helper.Fuse → math.FMA — write the unfused x*y + z (one rounding per op, identical on every platform)",
+				"internal/sim/sim.go:13:14: float-determinism: math.FMA in deterministic package internal/sim: write the unfused x*y + z (one rounding per op, identical on every platform)",
+			},
+			suppressed: 0,
 		},
 		{
 			fixture: "annotation",
@@ -138,7 +179,10 @@ func TestReportDeterministic(t *testing.T) {
 // TestRulesTable pins the catalog's shape: stable unique names, docs, and
 // a suppression directive everywhere one is promised.
 func TestRulesTable(t *testing.T) {
-	wantNames := []string{"determinism", "map-order", "hotpath", "metrics", "error-discipline"}
+	wantNames := []string{
+		"determinism", "determinism-taint", "float-determinism", "map-order",
+		"hotpath", "metrics", "error-discipline", "opt-in-contract",
+	}
 	rules := Rules()
 	if len(rules) != len(wantNames) {
 		t.Fatalf("rule count = %d, want %d", len(rules), len(wantNames))

@@ -25,6 +25,10 @@ import (
 //   - discard-ok <reason> — suppresses error-discard findings. Reason
 //     required.
 //   - panic-ok <reason> — suppresses panic findings. Reason required.
+//   - contract-ok <reason> — suppresses opt-in-contract findings (a
+//     RunOptions field that is deliberately not a pointer-armed feature,
+//     or a switch whose default is a documented catch-all). Reason
+//     required.
 //
 // A suppressing annotation covers findings on its own line (trailing
 // comment) and on the line directly below it (standalone comment above
@@ -36,19 +40,20 @@ const annPrefix = "//cyclops:"
 
 // directive names.
 const (
-	dirHotpath   = "hotpath"
-	dirDetOK     = "deterministic-ok"
-	dirAllocOK   = "alloc-ok"
-	dirMetricOK  = "metric-ok"
-	dirDiscardOK = "discard-ok"
-	dirPanicOK   = "panic-ok"
+	dirHotpath    = "hotpath"
+	dirDetOK      = "deterministic-ok"
+	dirAllocOK    = "alloc-ok"
+	dirMetricOK   = "metric-ok"
+	dirDiscardOK  = "discard-ok"
+	dirPanicOK    = "panic-ok"
+	dirContractOK = "contract-ok"
 )
 
 // needsReason reports whether a directive is a suppressor requiring a
 // justification.
 func needsReason(dir string) bool {
 	switch dir {
-	case dirDetOK, dirAllocOK, dirMetricOK, dirDiscardOK, dirPanicOK:
+	case dirDetOK, dirAllocOK, dirMetricOK, dirDiscardOK, dirPanicOK, dirContractOK:
 		return true
 	}
 	return false

@@ -1,0 +1,161 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// The baseline workflow (DESIGN.md §15): `cyclops-vet -baseline
+// analysis-baseline.json` subtracts grandfathered findings from the
+// report, so a rule rollout can land with its pre-existing debt recorded
+// while any *new* finding still fails `make verify`. Entries match on
+// (rule, file, message) as a multiset — line numbers are deliberately
+// excluded so unrelated edits above a finding don't churn the file.
+// Baselined findings that no longer occur are "stale": reported as a
+// warning (prune the file), never a failure, so burning debt down stays
+// frictionless.
+
+// BaselineEntry identifies one grandfathered finding.
+type BaselineEntry struct {
+	Rule string `json:"rule"`
+	File string `json:"file"`
+	Msg  string `json:"msg"`
+	// Count is the number of identical (rule, file, msg) findings this
+	// entry covers; 0 or absent means 1.
+	Count int `json:"count,omitempty"`
+}
+
+func (e BaselineEntry) String() string {
+	return fmt.Sprintf("%s: %s: %s", e.File, e.Rule, e.Msg)
+}
+
+// Baseline is the committed set of grandfathered findings.
+type Baseline struct {
+	Entries []BaselineEntry `json:"findings"`
+}
+
+// LoadBaseline reads a baseline file written by Save (or -write-baseline).
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("parse baseline %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+type baselineKey struct {
+	rule, file, msg string
+}
+
+// Filter splits findings into fresh (not in the baseline — these fail
+// the build) and counts the baselined ones; stale returns baseline
+// entries no current finding matched (with Count set to the unmatched
+// remainder).
+func (b *Baseline) Filter(findings []Finding) (fresh []Finding, baselined int, stale []BaselineEntry) {
+	remaining := map[baselineKey]int{}
+	for _, e := range b.Entries {
+		n := e.Count
+		if n <= 0 {
+			n = 1
+		}
+		remaining[baselineKey{e.Rule, e.File, e.Msg}] += n
+	}
+	for _, f := range findings {
+		k := baselineKey{f.Rule, f.Pos.Filename, f.Msg}
+		if remaining[k] > 0 {
+			remaining[k]--
+			baselined++
+			continue
+		}
+		fresh = append(fresh, f)
+	}
+	for _, e := range b.Entries {
+		k := baselineKey{e.Rule, e.File, e.Msg}
+		if remaining[k] > 0 {
+			e.Count = remaining[k]
+			stale = append(stale, e)
+			remaining[k] = 0
+		}
+	}
+	return fresh, baselined, stale
+}
+
+// NewBaseline aggregates findings into a baseline, deduplicated with
+// counts and sorted by (file, rule, msg) so the committed file diffs
+// cleanly.
+func NewBaseline(findings []Finding) *Baseline {
+	counts := map[baselineKey]int{}
+	for _, f := range findings {
+		counts[baselineKey{f.Rule, f.Pos.Filename, f.Msg}]++
+	}
+	b := &Baseline{Entries: []BaselineEntry{}}
+	for k, n := range counts { //cyclops:deterministic-ok sorted immediately below
+		e := BaselineEntry{Rule: k.rule, File: k.file, Msg: k.msg}
+		if n > 1 {
+			e.Count = n
+		}
+		b.Entries = append(b.Entries, e)
+	}
+	sort.Slice(b.Entries, func(i, j int) bool {
+		a, c := b.Entries[i], b.Entries[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Rule != c.Rule {
+			return a.Rule < c.Rule
+		}
+		return a.Msg < c.Msg
+	})
+	return b
+}
+
+// Save writes the baseline as indented JSON (the committed format).
+func (b *Baseline) Save(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// JSONReport is the machine-readable vet output (-json).
+type JSONReport struct {
+	Module     string          `json:"module"`
+	Packages   int             `json:"packages"`
+	ElapsedMS  int64           `json:"elapsed_ms"`
+	Findings   []JSONFinding   `json:"findings"`
+	Suppressed int             `json:"suppressed"`
+	Baselined  int             `json:"baselined"`
+	Stale      []BaselineEntry `json:"stale,omitempty"`
+}
+
+// JSONFinding is one finding in -json output.
+type JSONFinding struct {
+	Rule string `json:"rule"`
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Msg  string `json:"msg"`
+}
+
+// JSONFindings converts findings (already sorted by Run) to their wire
+// form.
+func JSONFindings(findings []Finding) []JSONFinding {
+	out := make([]JSONFinding, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, JSONFinding{
+			Rule: f.Rule,
+			File: f.Pos.Filename,
+			Line: f.Pos.Line,
+			Col:  f.Pos.Column,
+			Msg:  f.Msg,
+		})
+	}
+	return out
+}

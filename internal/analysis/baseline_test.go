@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"go/token"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func bf(rule, file, msg string) Finding {
+	return Finding{Rule: rule, Pos: token.Position{Filename: file, Line: 1, Column: 1}, Msg: msg}
+}
+
+// TestBaselineFilter pins the matching semantics: (rule, file, msg)
+// multisets, line numbers ignored, unmatched findings stay fresh, and
+// unconsumed entries come back stale.
+func TestBaselineFilter(t *testing.T) {
+	b := &Baseline{Entries: []BaselineEntry{
+		{Rule: "hotpath", File: "a.go", Msg: "boom"},
+		{Rule: "hotpath", File: "a.go", Msg: "twice", Count: 2},
+		{Rule: "metrics", File: "gone.go", Msg: "never happens again"},
+	}}
+	findings := []Finding{
+		bf("hotpath", "a.go", "boom"),
+		bf("hotpath", "a.go", "twice"),
+		bf("hotpath", "a.go", "twice"),
+		bf("hotpath", "a.go", "twice"), // third copy exceeds the count: fresh
+		bf("determinism", "b.go", "new"),
+	}
+	fresh, baselined, stale := b.Filter(findings)
+	if baselined != 3 {
+		t.Errorf("baselined = %d, want 3", baselined)
+	}
+	var freshMsgs []string
+	for _, f := range fresh {
+		freshMsgs = append(freshMsgs, f.Rule+":"+f.Msg)
+	}
+	if want := []string{"hotpath:twice", "determinism:new"}; !reflect.DeepEqual(freshMsgs, want) {
+		t.Errorf("fresh = %v, want %v", freshMsgs, want)
+	}
+	if len(stale) != 1 || stale[0].File != "gone.go" || stale[0].Count != 1 {
+		t.Errorf("stale = %+v, want the gone.go entry with count 1", stale)
+	}
+}
+
+// TestBaselineRoundTrip: NewBaseline aggregates with counts and sorts;
+// Save/LoadBaseline round-trips; the loaded baseline filters its own
+// findings to zero fresh.
+func TestBaselineRoundTrip(t *testing.T) {
+	findings := []Finding{
+		bf("b-rule", "z.go", "m"),
+		bf("a-rule", "a.go", "dup"),
+		bf("a-rule", "a.go", "dup"),
+	}
+	b := NewBaseline(findings)
+	want := []BaselineEntry{
+		{Rule: "a-rule", File: "a.go", Msg: "dup", Count: 2},
+		{Rule: "b-rule", File: "z.go", Msg: "m"},
+	}
+	if !reflect.DeepEqual(b.Entries, want) {
+		t.Fatalf("NewBaseline = %+v, want %+v", b.Entries, want)
+	}
+
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := b.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(loaded.Entries, b.Entries) {
+		t.Errorf("round-trip changed entries: %+v vs %+v", loaded.Entries, b.Entries)
+	}
+	fresh, baselined, stale := loaded.Filter(findings)
+	if len(fresh) != 0 || baselined != 3 || len(stale) != 0 {
+		t.Errorf("self-filter: fresh=%d baselined=%d stale=%d, want 0/3/0",
+			len(fresh), baselined, len(stale))
+	}
+}
+
+// TestBaselineMissingFile pins the load-error path the command turns
+// into exit status 2.
+func TestBaselineMissingFile(t *testing.T) {
+	if _, err := LoadBaseline(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("loading a missing baseline succeeded")
+	}
+}

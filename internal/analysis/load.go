@@ -54,6 +54,9 @@ type Module struct {
 	Fset *token.FileSet
 	// Pkgs are all packages sorted by import path.
 	Pkgs []*Package
+
+	// graph caches the lazily built static call graph (CallGraph()).
+	graph *CallGraph
 }
 
 // stdImporter is the shared source importer for standard-library imports.

@@ -1,0 +1,365 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ruleOptInContract enforces the two conventions that keep feature arms
+// and state machines evolvable without silent behavior drift
+// (DESIGN.md §15):
+//
+//   - Feature-arm fields on a RunOptions struct in the deterministic
+//     scope — fields whose type is a named struct ending in "Options" —
+//     must be pointer-typed with a doc comment that documents the nil
+//     default (the SolveGate/Handover/Hybrid convention: nil arm ==
+//     feature off == byte-identical to baseline). A value-typed arm has
+//     no "absent" state, so "feature off" and "feature zeroed" collapse
+//     into one ambiguous default.
+//   - Exported state enums (exported named integer types with at least
+//     two package-level constants in scoped packages) must stay a single
+//     append-only iota chain, and every switch over one must handle
+//     every exported state: a `default:` that silently swallows a
+//     freshly appended state is a finding. A panicking default is loud
+//     and fine; so is a default on a fully covered switch (the String()
+//     fallback style).
+//
+// Both halves answer to //cyclops:contract-ok <reason> — on the field
+// for a deliberately value-typed sub-struct, on the switch or default
+// line for a documented catch-all.
+func ruleOptInContract() Rule {
+	return Rule{
+		Name: "opt-in-contract",
+		Doc: "Feature-arm fields on core.RunOptions (named-struct types ending in \"Options\") must be " +
+			"pointer-typed with a documented nil default; exported state enums in the deterministic scope " +
+			"must be single append-only iota chains, and switches over them must handle every exported " +
+			"state — a silent default swallowing a new state is a finding (panicking defaults are fine). " +
+			"Suppress a justified exception with //cyclops:contract-ok <reason>.",
+		Suppress: dirContractOK,
+		Check: func(p *Pass) {
+			checkRunOptionsArms(p)
+			enums := collectEnums(p)
+			checkEnumChains(p, enums)
+			checkEnumSwitches(p, enums)
+		},
+	}
+}
+
+// checkRunOptionsArms walks every RunOptions struct declared in the
+// deterministic scope and checks the pointer-arm convention field by
+// field.
+func checkRunOptionsArms(p *Pass) {
+	for _, pkg := range p.Module.Pkgs {
+		if !inDeterministicScope(pkg.RelPath) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok || ts.Name.Name != "RunOptions" {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					for _, field := range st.Fields.List {
+						checkArmField(p, pkg, field)
+					}
+				}
+			}
+		}
+	}
+}
+
+func checkArmField(p *Pass, pkg *Package, field *ast.Field) {
+	tv, ok := pkg.Info.Types[field.Type]
+	if !ok || tv.Type == nil {
+		return
+	}
+	name := fieldLabel(field)
+	if ptr, ok := tv.Type.(*types.Pointer); ok {
+		arm := optionsStructName(ptr.Elem())
+		if arm == "" {
+			return
+		}
+		if !strings.Contains(strings.ToLower(field.Doc.Text()), "nil") {
+			p.Reportf(p.Pos(field.Pos()),
+				"opt-in arm %s (*%s) on RunOptions must document its nil default in the field doc comment",
+				name, arm)
+		}
+		return
+	}
+	if arm := optionsStructName(tv.Type); arm != "" {
+		p.Reportf(p.Pos(field.Pos()),
+			"opt-in arm %s on RunOptions has value type %s: feature arms must be *%s so nil means off and byte-identical to baseline",
+			name, arm, arm)
+	}
+}
+
+func fieldLabel(field *ast.Field) string {
+	if len(field.Names) > 0 {
+		return field.Names[0].Name
+	}
+	return types.ExprString(field.Type) // embedded
+}
+
+// optionsStructName returns the type name when t is a named struct type
+// whose name ends in "Options" (the feature-arm naming convention), else
+// "".
+func optionsStructName(t types.Type) string {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	if _, isStruct := named.Underlying().(*types.Struct); !isStruct {
+		return ""
+	}
+	n := named.Obj().Name()
+	if !strings.HasSuffix(n, "Options") {
+		return ""
+	}
+	return n
+}
+
+// enumInfo is one exported state enum: an exported named integer type
+// from a scoped package with at least two package-level constants.
+type enumInfo struct {
+	obj      *types.TypeName
+	exported []string // exported member names, declaration order
+	members  []*enumMember
+	blocks   []*ast.GenDecl // const blocks declaring members, in order
+}
+
+type enumMember struct {
+	name  string
+	spec  *ast.ValueSpec
+	block *ast.GenDecl
+}
+
+// collectEnums finds the enums and their members. Candidate types come
+// from the deterministic scope; members are collected module-wide so a
+// stray `const X pkg.State = 9` elsewhere still shows up as a chain
+// break.
+func collectEnums(p *Pass) []*enumInfo {
+	byObj := map[*types.TypeName]*enumInfo{}
+	var order []*enumInfo
+	for _, pkg := range p.Module.Pkgs {
+		if !inDeterministicScope(pkg.RelPath) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok || !ts.Name.IsExported() {
+						continue
+					}
+					obj, ok := pkg.Info.Defs[ts.Name].(*types.TypeName)
+					if !ok {
+						continue
+					}
+					named, ok := obj.Type().(*types.Named)
+					if !ok {
+						continue
+					}
+					b, ok := named.Underlying().(*types.Basic)
+					if !ok || b.Info()&types.IsInteger == 0 {
+						continue
+					}
+					e := &enumInfo{obj: obj}
+					byObj[obj] = e
+					order = append(order, e)
+				}
+			}
+		}
+	}
+	for _, pkg := range p.Module.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.CONST {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, nm := range vs.Names {
+						c, ok := pkg.Info.Defs[nm].(*types.Const)
+						if !ok {
+							continue
+						}
+						named, ok := c.Type().(*types.Named)
+						if !ok {
+							continue
+						}
+						e := byObj[named.Obj()]
+						if e == nil {
+							continue
+						}
+						e.members = append(e.members, &enumMember{name: nm.Name, spec: vs, block: gd})
+						if nm.IsExported() {
+							e.exported = append(e.exported, nm.Name)
+						}
+						if len(e.blocks) == 0 || e.blocks[len(e.blocks)-1] != gd {
+							e.blocks = append(e.blocks, gd)
+						}
+					}
+				}
+			}
+		}
+	}
+	var enums []*enumInfo
+	for _, e := range order {
+		if len(e.members) >= 2 {
+			enums = append(enums, e)
+		}
+	}
+	return enums
+}
+
+// checkEnumChains enforces the append-only shape: all members in one
+// const block, first member `= iota`, later members with no explicit
+// value (so appending at the end is the only way to add a state and no
+// existing value can ever be renumbered).
+func checkEnumChains(p *Pass, enums []*enumInfo) {
+	for _, e := range enums {
+		name := e.obj.Name()
+		if len(e.blocks) > 1 {
+			for _, b := range e.blocks[1:] {
+				p.Reportf(p.Pos(b.Pos()),
+					"enum %s: members declared outside its original const block; keep the enum a single append-only iota chain",
+					name)
+			}
+		}
+		first := true
+		for _, m := range e.members {
+			if m.block != e.blocks[0] {
+				continue
+			}
+			if first {
+				first = false
+				if len(m.spec.Values) != 1 || types.ExprString(m.spec.Values[0]) != "iota" {
+					p.Reportf(p.Pos(m.spec.Pos()),
+						"enum %s: first member %s must be declared `= iota` to anchor the append-only chain",
+						name, m.name)
+				}
+				continue
+			}
+			if m.spec == e.members[0].spec {
+				continue // second name in the anchoring spec
+			}
+			if len(m.spec.Values) != 0 {
+				p.Reportf(p.Pos(m.spec.Pos()),
+					"enum %s: member %s has an explicit value; append new members to the end of the iota chain instead",
+					name, m.name)
+			}
+		}
+	}
+}
+
+// checkEnumSwitches checks every expression switch in the module whose
+// tag is an enum type for exhaustive coverage of the exported members.
+func checkEnumSwitches(p *Pass, enums []*enumInfo) {
+	byObj := map[*types.TypeName]*enumInfo{}
+	for _, e := range enums {
+		byObj[e.obj] = e
+	}
+	for _, pkg := range p.Module.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sw, ok := n.(*ast.SwitchStmt)
+				if !ok || sw.Tag == nil {
+					return true
+				}
+				tv, ok := pkg.Info.Types[sw.Tag]
+				if !ok || tv.Type == nil {
+					return true
+				}
+				named, ok := tv.Type.(*types.Named)
+				if !ok {
+					return true
+				}
+				if e := byObj[named.Obj()]; e != nil {
+					checkOneSwitch(p, pkg, sw, e)
+				}
+				return true
+			})
+		}
+	}
+}
+
+func checkOneSwitch(p *Pass, pkg *Package, sw *ast.SwitchStmt, e *enumInfo) {
+	covered := map[string]bool{}
+	var def *ast.CaseClause
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			def = cc
+			continue
+		}
+		for _, expr := range cc.List {
+			var obj types.Object
+			switch x := ast.Unparen(expr).(type) {
+			case *ast.Ident:
+				obj = pkg.Info.Uses[x]
+			case *ast.SelectorExpr:
+				obj = pkg.Info.Uses[x.Sel]
+			}
+			if c, ok := obj.(*types.Const); ok {
+				covered[c.Name()] = true
+			}
+		}
+	}
+	var missing []string
+	for _, name := range e.exported {
+		if !covered[name] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) == 0 {
+		return // fully covered; a default here is the String() fallback style
+	}
+	list := strings.Join(missing, ", ")
+	switch {
+	case def == nil:
+		p.Reportf(p.Pos(sw.Pos()),
+			"switch on enum %s does not handle %s and has no default: a newly appended state would fall through silently",
+			e.obj.Name(), list)
+	case !loudDefault(pkg, def):
+		p.Reportf(p.Pos(def.Pos()),
+			"switch on enum %s has a default that silently swallows %s: handle every state or make the default panic",
+			e.obj.Name(), list)
+	}
+}
+
+// loudDefault reports whether the default clause panics — loud enough
+// that a new state cannot slip through unnoticed at runtime.
+func loudDefault(pkg *Package, def *ast.CaseClause) bool {
+	loud := false
+	for _, stmt := range def.Body {
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok && builtinName(pkg.Info, call.Fun) == "panic" {
+				loud = true
+			}
+			return true
+		})
+	}
+	return loud
+}

@@ -5,31 +5,71 @@ import (
 	"go/types"
 )
 
-// ruleHotPath checks every function annotated //cyclops:hotpath: the body
-// may not call into fmt, may not allocate with make/new, may not append
-// except the capacity-reusing self-append form `x = append(x, ...)`, and
-// may not convert values to interface types (explicitly, at call
-// arguments, or at returns) — every one of those is a heap allocation (or
-// an escape) on the paths the alloc-check runtime gate pins at zero
-// allocs/op. The check is per-function, not transitive: annotate each
-// function that must stay clean (the AllocsPerRun tests remain the
-// end-to-end backstop).
+// ruleHotPath checks every function annotated //cyclops:hotpath AND its
+// whole static call tree: no function the root transitively calls (or
+// references as a function value) may call into fmt, allocate with
+// make/new, append outside the capacity-reusing self-append form
+// `x = append(x, ...)`, or convert values to interface types (explicitly,
+// at call arguments, or at returns) — every one of those is a heap
+// allocation (or an escape) on the paths the alloc-check runtime gate
+// pins at zero allocs/op. Calls the graph cannot resolve (interface
+// method calls, calls through func values) are findings themselves:
+// purity must be provable over the whole tree. A //cyclops:alloc-ok
+// annotation on a call line cuts the traversal there — the sanctioned
+// way to mark a cold branch (outage handling, error paths) whose cost is
+// accounted outside the steady state. Findings below the root carry the
+// call chain in the message ("hot path step → (*Supervisor).SolveOK: …").
 func ruleHotPath() Rule {
 	return Rule{
 		Name: "hotpath",
-		Doc: "Functions annotated //cyclops:hotpath may not call fmt.*, allocate with make/new, " +
-			"append into anything but the slice itself (x = append(x, ...)), or convert values to " +
-			"interface types. Suppress a justified line with //cyclops:alloc-ok <reason>.",
+		Doc: "Functions annotated //cyclops:hotpath and every function in their static call tree may " +
+			"not call fmt.*, allocate with make/new, append into anything but the slice itself " +
+			"(x = append(x, ...)), or convert values to interface types; unresolvable calls (interface " +
+			"methods, func values) in the tree are findings. Suppress a justified line with " +
+			"//cyclops:alloc-ok <reason>; the same annotation on a call line cuts the traversal into a " +
+			"documented cold branch.",
 		Suppress: dirAllocOK,
 		Check: func(p *Pass) {
+			g := p.Module.CallGraph()
+			visited := map[*types.Func]bool{}
+			var visit func(fn *types.Func, label string)
+			visit = func(fn *types.Func, label string) {
+				node := g.Nodes[fn]
+				if node == nil {
+					return
+				}
+				checkHotFunc(p, node.Pkg, node.Decl, label)
+				for _, d := range node.Dynamic {
+					p.Reportf(p.Pos(d.Pos),
+						"hot path %s: %s (unknown callee): every hot-path call must resolve statically so the whole tree is checkable; annotate //cyclops:alloc-ok <reason> to cut",
+						label, d.Desc)
+				}
+				for _, e := range node.Calls {
+					to := g.Nodes[e.To]
+					if to == nil || visited[e.To] {
+						continue
+					}
+					if p.ann.suppressed(dirAllocOK, p.Pos(e.Pos)) {
+						p.suppressed++ // an annotated cut is a justified cold branch
+						continue
+					}
+					visited[e.To] = true
+					visit(e.To, label+" → "+declLabel(to.Decl))
+				}
+			}
 			for _, pkg := range p.Module.Pkgs {
 				for _, f := range pkg.Files {
 					for _, decl := range f.Decls {
-						fn, ok := decl.(*ast.FuncDecl)
-						if !ok || fn.Body == nil || !funcHasDirective(fn, dirHotpath) {
+						fd, ok := decl.(*ast.FuncDecl)
+						if !ok || fd.Body == nil || !funcHasDirective(fd, dirHotpath) {
 							continue
 						}
-						checkHotFunc(p, pkg, fn)
+						fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+						if !ok || visited[fn] {
+							continue
+						}
+						visited[fn] = true
+						visit(fn, declLabel(fd))
 					}
 				}
 			}
@@ -37,7 +77,16 @@ func ruleHotPath() Rule {
 	}
 }
 
-func checkHotFunc(p *Pass, pkg *Package, fn *ast.FuncDecl) {
+// declLabel is the chain element for a declaration: "step",
+// "(*Supervisor).SolveOK".
+func declLabel(fd *ast.FuncDecl) string {
+	if fd.Recv != nil && len(fd.Recv.List) > 0 {
+		return "(" + types.ExprString(fd.Recv.List[0].Type) + ")." + fd.Name.Name
+	}
+	return fd.Name.Name
+}
+
+func checkHotFunc(p *Pass, pkg *Package, fn *ast.FuncDecl, label string) {
 	info := pkg.Info
 
 	// Self-appends `x = append(x, ...)` reuse capacity and are the
@@ -68,7 +117,7 @@ func checkHotFunc(p *Pass, pkg *Package, fn *ast.FuncDecl) {
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.CallExpr:
-			checkHotCall(p, pkg, fn, n, selfAppend)
+			checkHotCall(p, pkg, label, n, selfAppend)
 		case *ast.ReturnStmt:
 			if results == nil || len(n.Results) != results.Len() {
 				return true // naked return or single-call multi-value: nothing concrete to flag
@@ -77,7 +126,7 @@ func checkHotFunc(p *Pass, pkg *Package, fn *ast.FuncDecl) {
 				if isInterface(results.At(i).Type()) && convertsToInterface(info, res) {
 					p.Reportf(p.Pos(res.Pos()),
 						"hot path %s returns %s as interface %s (allocates): return a concrete type or a prebuilt value",
-						fn.Name.Name, types.ExprString(res), results.At(i).Type())
+						label, types.ExprString(res), results.At(i).Type())
 				}
 			}
 		}
@@ -85,14 +134,14 @@ func checkHotFunc(p *Pass, pkg *Package, fn *ast.FuncDecl) {
 	})
 }
 
-func checkHotCall(p *Pass, pkg *Package, fn *ast.FuncDecl, call *ast.CallExpr, selfAppend map[*ast.CallExpr]bool) {
+func checkHotCall(p *Pass, pkg *Package, label string, call *ast.CallExpr, selfAppend map[*ast.CallExpr]bool) {
 	info := pkg.Info
 
 	// Conversion T(x)? Flag only conversions to interface types.
 	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
 		if isInterface(tv.Type) && len(call.Args) == 1 && convertsToInterface(info, call.Args[0]) {
 			p.Reportf(p.Pos(call.Pos()),
-				"hot path %s converts to interface type %s (allocates)", fn.Name.Name, tv.Type)
+				"hot path %s converts to interface type %s (allocates)", label, tv.Type)
 		}
 		return
 	}
@@ -102,13 +151,13 @@ func checkHotCall(p *Pass, pkg *Package, fn *ast.FuncDecl, call *ast.CallExpr, s
 		if !selfAppend[call] {
 			p.Reportf(p.Pos(call.Pos()),
 				"hot path %s: append result does not feed back into its slice (escapes/allocates); use the x = append(x, ...) form on a preallocated slice",
-				fn.Name.Name)
+				label)
 		}
 		return
 	case "make", "new":
 		p.Reportf(p.Pos(call.Pos()),
 			"hot path %s allocates with %s: hoist the allocation out of the hot path",
-			fn.Name.Name, builtinName(info, call.Fun))
+			label, builtinName(info, call.Fun))
 		return
 	case "":
 		// not a builtin — fall through to the function-call checks
@@ -120,7 +169,7 @@ func checkHotCall(p *Pass, pkg *Package, fn *ast.FuncDecl, call *ast.CallExpr, s
 	if obj := calleeFunc(info, call.Fun); obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
 		p.Reportf(p.Pos(call.Pos()),
 			"hot path %s calls fmt.%s (allocates): precompute messages or use prebuilt errors",
-			fn.Name.Name, obj.Name())
+			label, obj.Name())
 		return
 	}
 
@@ -137,7 +186,7 @@ func checkHotCall(p *Pass, pkg *Package, fn *ast.FuncDecl, call *ast.CallExpr, s
 		if convertsToInterface(info, arg) {
 			p.Reportf(p.Pos(arg.Pos()),
 				"hot path %s passes %s as interface %s (allocates)",
-				fn.Name.Name, types.ExprString(arg), pt)
+				label, types.ExprString(arg), pt)
 		}
 	}
 }

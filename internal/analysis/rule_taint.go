@@ -1,0 +1,270 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// The interprocedural taint rules. The direct rules (determinism,
+// map-order, float-determinism's in-scope clause) flag forbidden sources
+// *inside* the deterministic scope; the taint rules close the loop the
+// other way: a function defined outside the scope but reachable from it
+// through the static call graph must not reach a source either, or the
+// nondeterminism leaks in through an unannotated callee. Findings land on
+// the tainted function's declaration and print the full call chain from a
+// scope entry point down to the source (DESIGN.md §15).
+
+// taintInfo is the result of one taint computation over the call graph,
+// restricted to a set of source categories.
+type taintInfo struct {
+	graph *CallGraph
+	// dist is the number of call hops from a function to its nearest
+	// live (unsuppressed) source; present only for tainted functions.
+	dist map[*types.Func]int
+	// next is the edge to follow toward the source (dist strictly
+	// decreases along it, so chains terminate even through cycles).
+	next map[*types.Func]CGEdge
+	// src is the terminal source for functions with a live local source.
+	src map[*types.Func]CGSource
+}
+
+// computeTaint seeds from every unsuppressed source whose category is in
+// cats and propagates backward over call and ref edges to a fixpoint.
+// A //cyclops:deterministic-ok annotation at a source line removes the
+// seed — the same annotation that silences the direct rules.
+func computeTaint(p *Pass, cats map[SourceCat]bool) *taintInfo {
+	g := p.Module.CallGraph()
+	t := &taintInfo{
+		graph: g,
+		dist:  map[*types.Func]int{},
+		next:  map[*types.Func]CGEdge{},
+		src:   map[*types.Func]CGSource{},
+	}
+
+	// Reverse adjacency, in deterministic order (g.Order, then edge
+	// order inside each node).
+	callers := map[*types.Func][]*CGNode{}
+	for _, n := range g.Order {
+		for _, e := range n.Calls {
+			callers[e.To] = append(callers[e.To], n)
+		}
+	}
+
+	// Seed: functions with a live local source (first by position wins
+	// as the reported terminal).
+	var frontier []*CGNode
+	for _, n := range g.Order {
+		for _, s := range n.Sources {
+			if !cats[s.Cat] {
+				continue
+			}
+			if p.ann.suppressed(dirDetOK, p.Pos(s.Pos)) {
+				continue
+			}
+			if _, seeded := t.dist[n.Fn]; !seeded || s.Pos < t.src[n.Fn].Pos {
+				t.dist[n.Fn] = 0
+				t.src[n.Fn] = s
+			}
+		}
+		if _, ok := t.dist[n.Fn]; ok {
+			frontier = append(frontier, n)
+		}
+	}
+
+	// BFS backward: callers of a tainted function are tainted one hop
+	// further out. Level-order keeps dist minimal; iteration over
+	// g.Order-derived slices keeps it deterministic.
+	for len(frontier) > 0 {
+		var nextFrontier []*CGNode
+		for _, n := range frontier {
+			for _, caller := range callers[n.Fn] {
+				if _, seen := t.dist[caller.Fn]; seen {
+					continue
+				}
+				t.dist[caller.Fn] = t.dist[n.Fn] + 1
+				nextFrontier = append(nextFrontier, caller)
+			}
+		}
+		frontier = nextFrontier
+	}
+
+	// Chain pointers: the first edge (source order) whose target is one
+	// hop closer to a source.
+	for _, n := range g.Order {
+		d, tainted := t.dist[n.Fn]
+		if !tainted || d == 0 {
+			continue
+		}
+		for _, e := range n.Calls {
+			if td, ok := t.dist[e.To]; ok && td == d-1 {
+				t.next[n.Fn] = e
+				break
+			}
+		}
+	}
+	return t
+}
+
+// sourceChain renders the call chain from fn down to its terminal source:
+// "a → b → time.Now", plus the source for the message tail.
+func (t *taintInfo) sourceChain(fn *types.Func) ([]string, CGSource) {
+	var names []string
+	cur := fn
+	for {
+		node := t.graph.Nodes[cur]
+		names = append(names, node.Name())
+		if t.dist[cur] == 0 {
+			src := t.src[cur]
+			names = append(names, src.Desc)
+			return names, src
+		}
+		cur = t.next[cur].To
+	}
+}
+
+// scopeReach computes, for every out-of-scope node, how the deterministic
+// scope first reaches it (BFS over call+ref edges from every in-scope
+// node; parent pointers rebuild the entry chain).
+func scopeReach(g *CallGraph) map[*types.Func]*CGNode {
+	parent := map[*types.Func]*CGNode{}
+	inScope := func(n *CGNode) bool { return inDeterministicScope(n.Pkg.RelPath) }
+	var frontier []*CGNode
+	for _, n := range g.Order {
+		if !inScope(n) {
+			continue
+		}
+		for _, e := range n.Calls {
+			to := g.Nodes[e.To]
+			if to == nil || inScope(to) {
+				continue
+			}
+			if _, seen := parent[e.To]; seen {
+				continue
+			}
+			parent[e.To] = n
+			frontier = append(frontier, to)
+		}
+	}
+	for len(frontier) > 0 {
+		var next []*CGNode
+		for _, n := range frontier {
+			for _, e := range n.Calls {
+				to := g.Nodes[e.To]
+				if to == nil || inScope(to) {
+					continue
+				}
+				if _, seen := parent[e.To]; seen {
+					continue
+				}
+				parent[e.To] = n
+				next = append(next, to)
+			}
+		}
+		frontier = next
+	}
+	return parent
+}
+
+// entryChain rebuilds the path from the first in-scope entry point down
+// to fn: "internal/sim.Run → geomx.Jitter".
+func entryChain(g *CallGraph, parent map[*types.Func]*CGNode, fn *types.Func) []string {
+	var rev []string
+	cur := fn
+	for {
+		rev = append(rev, g.Nodes[cur].Name())
+		p, ok := parent[cur]
+		if !ok {
+			break // cur is in scope: the entry point
+		}
+		cur = p.Fn
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// reportTransitive runs one taint pass and reports every tainted
+// out-of-scope function reachable from the deterministic scope, with the
+// full call chain (entry → ... → function → ... → source) in the message.
+func reportTransitive(p *Pass, cats map[SourceCat]bool) {
+	g := p.Module.CallGraph()
+	t := computeTaint(p, cats)
+	parent := scopeReach(g)
+	for _, n := range g.Order {
+		if inDeterministicScope(n.Pkg.RelPath) {
+			continue // direct rules own the in-scope findings
+		}
+		if _, reached := parent[n.Fn]; !reached {
+			continue
+		}
+		if _, tainted := t.dist[n.Fn]; !tainted {
+			continue
+		}
+		entry := entryChain(g, parent, n.Fn)
+		down, src := t.sourceChain(n.Fn)
+		chain := append(entry, down[1:]...) // n appears once, at the seam
+		p.Reportf(p.Pos(n.Decl.Pos()),
+			"%s is reachable from the deterministic scope and reaches %s: %s — %s",
+			n.Name(), src.Desc, strings.Join(chain, " → "), src.Alt)
+	}
+}
+
+// detTaintCats are the determinism-taint source categories; SrcFMA is
+// float-determinism's.
+var detTaintCats = map[SourceCat]bool{SrcClock: true, SrcEnv: true, SrcRand: true, SrcMapRange: true}
+
+func ruleDeterminismTaint() Rule {
+	return Rule{
+		Name: "determinism-taint",
+		Doc: "Functions outside the deterministic scope but reachable from it through the static call " +
+			"graph (direct calls, method calls, function-value references) must not transitively reach " +
+			"time.Now/Since/Until, os.Getenv/LookupEnv/Environ, global math/rand, or a map range. The " +
+			"finding lands on the tainted function's declaration with the full call chain; suppress there " +
+			"(or at the source line) with //cyclops:deterministic-ok <reason>.",
+		Suppress: dirDetOK,
+		Check: func(p *Pass) {
+			reportTransitive(p, detTaintCats)
+		},
+	}
+}
+
+func ruleFloatDeterminism() Rule {
+	return Rule{
+		Name: "float-determinism",
+		Doc: "math.FMA fuses multiply-add into one rounding, so its results differ from the unfused " +
+			"x*y + z the rest of the codebase computes and invite platform-variant fast paths. It is " +
+			"forbidden in the deterministic scope, directly or through any reachable callee. Suppress a " +
+			"justified use with //cyclops:deterministic-ok <reason>.",
+		Suppress: dirDetOK,
+		Check: func(p *Pass) {
+			// Direct: any use inside the scope (whole-file walk, so var
+			// initializers count too, same as the determinism rule).
+			for _, pkg := range p.Module.Pkgs {
+				if !inDeterministicScope(pkg.RelPath) {
+					continue
+				}
+				for _, f := range pkg.Files {
+					ast.Inspect(f, func(n ast.Node) bool {
+						id, ok := n.(*ast.Ident)
+						if !ok {
+							return true
+						}
+						fn, ok := pkg.Info.Uses[id].(*types.Func)
+						if !ok {
+							return true
+						}
+						if src, bad := forbiddenSource(fn); bad && src.cat == SrcFMA {
+							p.Reportf(p.Pos(id.Pos()),
+								"math.FMA in deterministic package %s: %s", pkg.RelPath, src.alt)
+						}
+						return true
+					})
+				}
+			}
+			// Transitive: reachable callees outside the scope.
+			reportTransitive(p, map[SourceCat]bool{SrcFMA: true})
+		},
+	}
+}

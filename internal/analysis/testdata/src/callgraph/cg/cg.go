@@ -1,0 +1,45 @@
+// Package cg is the call-graph unit-test fixture: method calls, ref
+// edges, dynamic calls, closure attribution, and source recording.
+package cg
+
+import (
+	"io"
+	"time"
+)
+
+type T struct{}
+
+func (t *T) M() int { return 1 }
+
+func F() int { return 2 }
+
+// Caller resolves a method call, a direct call, and mentions F without
+// calling it (ref edge).
+func Caller() func() int {
+	var t T
+	_ = t.M() + F()
+	return F
+}
+
+// HasClosure calls F only inside a literal; the edge is attributed to
+// HasClosure.
+func HasClosure() {
+	f := func() int { return F() }
+	f()
+}
+
+// Dyn makes one interface call and one call through a func value: two
+// dynamic records, no static edges.
+func Dyn(w io.Writer, f func()) {
+	w.Write(nil)
+	f()
+}
+
+// Src reads the clock and ranges a map: two recorded sources.
+func Src(m map[int]int) int {
+	n := int(time.Now().Unix())
+	for k := range m {
+		n += k
+	}
+	return n
+}

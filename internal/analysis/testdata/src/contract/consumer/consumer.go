@@ -1,0 +1,62 @@
+// Package consumer is outside the deterministic scope, but switches over
+// scoped enums are checked module-wide: a consumer is exactly where a new
+// state gets swallowed.
+package consumer
+
+import "fixture/internal/core"
+
+// SilentDefault swallows Busy and Done: a finding.
+func SilentDefault(s core.State) int {
+	switch s {
+	case core.Idle:
+		return 0
+	default:
+		return -1
+	}
+}
+
+// NoDefault misses Done with nothing to catch it: a finding.
+func NoDefault(s core.State) int {
+	switch s {
+	case core.Idle:
+		return 0
+	case core.Busy:
+		return 1
+	}
+	return -1
+}
+
+// LoudDefault panics on anything unhandled: fine.
+func LoudDefault(s core.State) int {
+	switch s {
+	case core.Idle:
+		return 0
+	default:
+		panic("unhandled state")
+	}
+}
+
+// Exhaustive covers every exported state, with a String()-style fallback
+// default: fine.
+func Exhaustive(s core.State) string {
+	switch s {
+	case core.Idle:
+		return "idle"
+	case core.Busy:
+		return "busy"
+	case core.Done:
+		return "done"
+	default:
+		return "unknown"
+	}
+}
+
+// Annotated is a documented deliberate subset: suppressed.
+func Annotated(s core.State) bool {
+	//cyclops:contract-ok fixture: only Idle matters here, every other state is a no-op by design
+	switch s {
+	case core.Idle:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,57 @@
+// Package core exercises the opt-in-contract rule: RunOptions feature
+// arms and state-enum hygiene.
+package core
+
+// GateOptions is a feature arm's option struct.
+type GateOptions struct{ X int }
+
+// TuneOptions is a tuning sub-struct, deliberately not an arm.
+type TuneOptions struct{ Y int }
+
+// PlainOptions is a feature arm's option struct.
+type PlainOptions struct{ Z int }
+
+// RunOptions is the struct the rule keys on by name.
+type RunOptions struct {
+	// Gate is value-typed: a finding (no nil state).
+	Gate GateOptions
+	// Tuned is deliberately value-typed.
+	//cyclops:contract-ok tuning sub-struct, zero value means defaults, not an opt-in arm
+	Tuned TuneOptions
+	// Plain arms the plain feature. Its doc never documents the
+	// pointer's default: a finding.
+	Plain *PlainOptions
+	// Good, when non-nil, arms the good feature. Default (nil): off.
+	Good *GateOptions
+	// Count is not an Options struct; the rule ignores it.
+	Count int
+}
+
+// State is a well-formed append-only enum.
+type State int
+
+const (
+	Idle State = iota
+	Busy
+	Done
+	numStates // unexported terminator, exempt from switch coverage
+)
+
+// Mode breaks append-only: a member declared outside the original block.
+type Mode int
+
+const (
+	Fast Mode = iota
+	Slow
+)
+
+// Broken extends Mode outside its block: a finding.
+const Broken Mode = 7
+
+// Weird never anchors its chain with iota: a finding.
+type Weird int
+
+const (
+	W1 Weird = 1
+	W2 Weird = 2
+)

@@ -1,0 +1,14 @@
+// Package helper is outside the deterministic scope.
+package helper
+
+import "math"
+
+// Fuse is reachable from the scope and fuses: tainted.
+func Fuse(x, y, z float64) float64 {
+	return math.FMA(x, y, z)
+}
+
+// FreeAgent fuses too, but nothing in the scope reaches it: clean.
+func FreeAgent(x, y, z float64) float64 {
+	return math.FMA(x, y, z)
+}

@@ -1,0 +1,20 @@
+// Package sim exercises float-determinism: a direct math.FMA in scope
+// and one reached transitively through an out-of-scope helper.
+package sim
+
+import (
+	"math"
+
+	"fixture/helper"
+)
+
+// Mix fuses in scope: a direct finding.
+func Mix(x, y, z float64) float64 {
+	return math.FMA(x, y, z)
+}
+
+// Via reaches the fuse one hop below the scope: a transitive finding on
+// the helper.
+func Via() float64 {
+	return helper.Fuse(1, 2, 3)
+}

@@ -1,0 +1,46 @@
+// Package hp exercises the transitive hotpath rule: the root is clean,
+// the violations live in callees.
+package hp
+
+import (
+	"fmt"
+	"io"
+)
+
+//cyclops:hotpath fixture root; the whole call tree below must stay pure
+func Root(w io.Writer, f func()) int {
+	n := helperAlloc()
+	n += deepCaller()
+	w.Write(nil) // interface call: unknown callee
+	f()          // func value: unknown callee
+	//cyclops:alloc-ok documented cold branch; traversal must stop here
+	n += coldAlloc()
+	return n
+}
+
+// helperAlloc is one hop below the root.
+func helperAlloc() int {
+	s := make([]int, 8)
+	return len(s)
+}
+
+// deepCaller is clean itself; deep puts the fmt call two hops down.
+func deepCaller() int {
+	return deep()
+}
+
+func deep() int {
+	return len(fmt.Sprintf("%d", 7))
+}
+
+// coldAlloc allocates, but the annotated call site above cuts the
+// traversal before it: no finding.
+func coldAlloc() int {
+	s := make([]int, 64)
+	return cap(s)
+}
+
+// NotReached allocates and is in nobody's hot tree: no finding.
+func NotReached() []byte {
+	return make([]byte, 1)
+}

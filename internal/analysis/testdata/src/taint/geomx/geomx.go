@@ -1,0 +1,31 @@
+// Package geomx sits outside the deterministic scope (not under
+// internal/) but is called from it.
+package geomx
+
+import "fixture/util"
+
+// Jitter is one hop below the scope; util.Stamp puts the forbidden call
+// a second hop down.
+func Jitter() float64 {
+	return util.Stamp()
+}
+
+// Sorted carries its own forbidden source: map iteration order.
+func Sorted(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// MakeFn never calls Stamp — it returns it. The ref edge must taint
+// MakeFn anyway: whoever receives the value can call it.
+func MakeFn() func() float64 {
+	return util.Stamp
+}
+
+// Settle only reaches the suppressed source: clean.
+func Settle() float64 {
+	return util.Quiet()
+}

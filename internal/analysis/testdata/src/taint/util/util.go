@@ -1,0 +1,22 @@
+// Package util is two hops below the deterministic scope.
+package util
+
+import "time"
+
+// Stamp is the terminal source: a wall-clock read.
+func Stamp() float64 {
+	return float64(time.Now().UnixNano())
+}
+
+// Quiet's source is annotated away, so nothing reaching only Quiet is
+// tainted.
+func Quiet() float64 {
+	t := time.Now() //cyclops:deterministic-ok fixture: justified wall-clock read
+	return float64(t.Second())
+}
+
+// Lonely touches the clock but is reachable from nowhere in the scope:
+// out-of-scope code may do as it pleases.
+func Lonely() time.Time {
+	return time.Now()
+}

@@ -26,32 +26,34 @@ func gateProg() motion.Program {
 	}
 }
 
-// TestSolveGateDisabledBitIdentical pins the opt-out contract: with the
-// gate left at its zero value (and with Enable false but nonsense
-// thresholds that must be ignored), a run is byte-identical to the
-// historical loop — same samples, same pointing counts, no skips.
-func TestSolveGateDisabledBitIdentical(t *testing.T) {
-	run := func(gate SolveGateOptions) RunResult {
+// TestSolveGateNilBitIdentical pins the opt-out contract after the
+// pointer-arm migration: the gate is armed by setting RunOptions.SolveGate
+// (there is no Enable bit any more, so the old ambiguous "disabled but
+// thresholds set" state is unrepresentable). A nil arm must engage no gate
+// machinery — zero skips — and stay bit-identical run to run: same
+// samples, same pointing counts.
+func TestSolveGateNilBitIdentical(t *testing.T) {
+	run := func() RunResult {
 		t.Helper()
 		s := oracleSystem(optics.Diverging10G16mm, 11)
-		res, err := s.Run(RunOptions{Program: gateProg(), SolveGate: gate})
+		res, err := s.Run(RunOptions{Program: gateProg(), SolveGate: nil})
 		if err != nil {
 			t.Fatal(err)
 		}
 		return res
 	}
-	base := run(SolveGateOptions{})
-	off := run(SolveGateOptions{Enable: false, MaxTrans: 5, MaxAngle: 5})
+	base := run()
+	off := run()
 
 	if base.SolvesSkipped != 0 || off.SolvesSkipped != 0 {
-		t.Fatalf("disabled gate skipped solves: %d / %d", base.SolvesSkipped, off.SolvesSkipped)
+		t.Fatalf("nil gate skipped solves: %d / %d", base.SolvesSkipped, off.SolvesSkipped)
 	}
 	if base.Points != off.Points || base.PointFailures != off.PointFailures ||
 		base.TotalPointIters != off.TotalPointIters ||
 		base.TotalGPrimeIters != off.TotalGPrimeIters ||
 		base.Disconnections != off.Disconnections ||
 		math.Float64bits(base.UpFraction) != math.Float64bits(off.UpFraction) {
-		t.Fatalf("disabled gate changed the run:\n  base %+v\n  off  %+v", base, off)
+		t.Fatalf("nil gate is not deterministic:\n  base %+v\n  off  %+v", base, off)
 	}
 	if len(base.Samples) != len(off.Samples) {
 		t.Fatalf("sample count differs: %d vs %d", len(base.Samples), len(off.Samples))
@@ -80,7 +82,7 @@ func TestSolveGateSkipsNearStaticReports(t *testing.T) {
 	}()
 
 	s := oracleSystem(optics.Diverging10G16mm, 11)
-	res, err := s.Run(RunOptions{Program: gateProg(), SolveGate: SolveGateOptions{Enable: true}})
+	res, err := s.Run(RunOptions{Program: gateProg(), SolveGate: &SolveGateOptions{}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,22 +104,23 @@ func TestSolveGateSkipsNearStaticReports(t *testing.T) {
 	}
 }
 
-// TestSolveGateValidate: enabled gates must carry sane thresholds; a
-// disabled gate's thresholds are never consulted.
+// TestSolveGateValidate: armed gates must carry sane thresholds; a nil
+// arm has no thresholds to consult. (Before the pointer migration a
+// "disabled" gate could carry garbage thresholds that validation
+// ignored; that state no longer exists.)
 func TestSolveGateValidate(t *testing.T) {
 	prog := motion.Static{P: link.DefaultHeadsetPose(), Len: time.Second}
 	cases := []struct {
 		name string
-		gate SolveGateOptions
+		gate *SolveGateOptions
 		ok   bool
 	}{
-		{"zero value", SolveGateOptions{}, true},
-		{"enabled defaults", SolveGateOptions{Enable: true}, true},
-		{"enabled explicit", SolveGateOptions{Enable: true, MaxTrans: 1e-3, MaxAngle: 2e-3}, true},
-		{"NaN trans", SolveGateOptions{Enable: true, MaxTrans: math.NaN()}, false},
-		{"inf angle", SolveGateOptions{Enable: true, MaxAngle: math.Inf(1)}, false},
-		{"negative trans", SolveGateOptions{Enable: true, MaxTrans: -1}, false},
-		{"disabled garbage ignored", SolveGateOptions{MaxTrans: math.NaN(), MaxAngle: -1}, true},
+		{"nil arm", nil, true},
+		{"armed defaults", &SolveGateOptions{}, true},
+		{"armed explicit", &SolveGateOptions{MaxTrans: 1e-3, MaxAngle: 2e-3}, true},
+		{"NaN trans", &SolveGateOptions{MaxTrans: math.NaN()}, false},
+		{"inf angle", &SolveGateOptions{MaxAngle: math.Inf(1)}, false},
+		{"negative trans", &SolveGateOptions{MaxTrans: -1}, false},
 	}
 	for _, c := range cases {
 		err := RunOptions{Program: prog, SolveGate: c.gate}.Validate()

@@ -54,17 +54,20 @@ type RunOptions struct {
 	// historical run loop.
 	Faults *fault.Schedule
 	// Recovery tunes the supervisor; the zero value means the documented
-	// defaults. Consulted only when Faults is armed.
+	// defaults. Consulted only when Faults is armed — it tunes a layer
+	// Faults arms rather than arming anything itself, which is why it is
+	// a value, not a pointer arm.
+	//cyclops:contract-ok tuning sub-struct for the Faults-gated supervisor, not an opt-in feature arm; zero value = documented defaults
 	Recovery RecoveryOptions
-	// SolveGate, when enabled, arms pose-delta solver gating: a tracking
+	// SolveGate, when non-nil, arms pose-delta solver gating: a tracking
 	// report whose pose has moved less than the gate's tolerance cone
 	// since the last accepted solve skips the full P iteration and lets
-	// the in-flight (or settled) mirror command stand. Off by default —
-	// the zero value runs every report through P, bit-identical to the
-	// historical loop; enabling it trades bounded extra pointing error
-	// (below the beam's own capture tolerance when the cone is set
-	// sanely) for skipped solves on near-static poses.
-	SolveGate SolveGateOptions
+	// the in-flight (or settled) mirror command stand. Default (nil):
+	// every report runs through P, bit-identical to the historical loop;
+	// arming it trades bounded extra pointing error (below the beam's
+	// own capture tolerance when the cone is set sanely) for skipped
+	// solves on near-static poses.
+	SolveGate *SolveGateOptions
 	// Handover, when non-nil, arms make-before-break multi-TX recovery:
 	// standby ceiling transmitters are kept pre-pointed and the run
 	// switches to the best clear one when the active path goes dark,
@@ -84,13 +87,10 @@ type RunOptions struct {
 }
 
 // SolveGateOptions configure pose-delta solver gating
-// (RunOptions.SolveGate). The zero value of each threshold means "use
-// the documented default"; the zero value of the whole struct leaves
-// gating disabled.
+// (RunOptions.SolveGate). Setting the pointer arms the gate — there is
+// no Enable bit, so "off" and "zeroed" cannot diverge; the zero value
+// of each threshold means "use the documented default".
 type SolveGateOptions struct {
-	// Enable arms the gate. Default false: every tracking report runs
-	// the full P iteration (the historical behavior).
-	Enable bool
 	// MaxTrans is the translation delta (meters) below which a report is
 	// considered inside the tolerance cone (default 0.5 mm — well under
 	// the millimeter-scale lateral capture tolerance of §5.4, so a
@@ -187,7 +187,7 @@ func (o RunOptions) Validate() error {
 			}
 		}
 	}
-	if g := o.SolveGate; g.Enable {
+	if g := o.SolveGate; g != nil {
 		if math.IsNaN(g.MaxTrans) || math.IsInf(g.MaxTrans, 0) || g.MaxTrans < 0 ||
 			math.IsNaN(g.MaxAngle) || math.IsInf(g.MaxAngle, 0) || g.MaxAngle < 0 {
 			return fmt.Errorf("core: invalid RunOptions: SolveGate thresholds (%v m, %v rad) must be finite and non-negative",
@@ -416,8 +416,9 @@ func (s *System) Run(opts RunOptions) (RunResult, error) {
 	}
 	// The TX model does not depend on the headset pose: compile it once
 	// and every P solve of the run reuses the precomputed form.
-	gate := opts.SolveGate
-	if gate.Enable {
+	var gate SolveGateOptions
+	if opts.SolveGate != nil {
+		gate = *opts.SolveGate
 		gate.defaults()
 	}
 	l := &runLoop{
@@ -425,6 +426,7 @@ func (s *System) Run(opts RunOptions) (RunResult, error) {
 		opts:        opts,
 		tick:        tick,
 		gate:        gate,
+		gateOn:      opts.SolveGate != nil,
 		sampleEvery: sampleEvery,
 		rm:          rm,
 		mon:         mon,
@@ -530,10 +532,13 @@ type runLoop struct {
 	nextReport time.Duration
 	nextSample time.Duration
 
-	// Pose-delta solver gating (RunOptions.SolveGate): the pose of the
-	// last accepted solve, valid while haveSolvedPose. A report inside
-	// the gate's tolerance cone of solvedPose skips the P iteration.
+	// Pose-delta solver gating (RunOptions.SolveGate): gateOn mirrors
+	// the arm's non-nil-ness; gate is the defaulted copy. solvedPose is
+	// the pose of the last accepted solve, valid while haveSolvedPose. A
+	// report inside the gate's tolerance cone of solvedPose skips the P
+	// iteration.
 	gate           SolveGateOptions
+	gateOn         bool
 	solvedPose     geom.Pose
 	haveSolvedPose bool
 
@@ -558,7 +563,7 @@ func (l *runLoop) reportInterval() time.Duration {
 //
 //cyclops:hotpath runs once per simulated millisecond; Samples is pre-sized so the append never grows
 func (l *runLoop) step(at time.Duration) {
-	pose := l.opts.Program.Pose(at)
+	pose := l.opts.Program.Pose(at) //cyclops:alloc-ok Program is the motion interface; every module implementation is itself in the vet scope and the 0-alloc contract is pinned by make alloc-check
 	l.s.Plant.SetHeadset(pose)
 	if l.ho != nil {
 		l.ho.setOtherHeadsets(l.s.Plant, pose)
@@ -672,7 +677,7 @@ func (l *runLoop) step(at time.Duration) {
 			// capture tolerance — answer the report without a solve.
 			// Checked only on the model-based path, after the failure
 			// and backoff cases above, so recovery is never starved.
-			if l.gate.Enable && l.haveSolvedPose {
+			if l.gateOn && l.haveSolvedPose {
 				lin, ang := rep.Pose.Delta(l.solvedPose)
 				if lin <= l.gate.MaxTrans && ang <= l.gate.MaxAngle {
 					l.rm.reports.Inc()
@@ -802,6 +807,7 @@ func (r *reportRing) len() int { return r.n }
 
 func (r *reportRing) push(rep vrh.Report) {
 	if r.n == len(r.buf) {
+		//cyclops:alloc-ok amortized ring growth: only when a run packs more reports into the window than ever before; steady state never grows (pinned by make alloc-check)
 		grown := make([]vrh.Report, 2*r.n+8)
 		for i := 0; i < r.n; i++ {
 			grown[i] = r.buf[(r.head+i)%len(r.buf)]

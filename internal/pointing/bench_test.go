@@ -1,6 +1,7 @@
 package pointing
 
 import (
+	"errors"
 	"testing"
 
 	"cyclops/internal/geom"
@@ -71,6 +72,37 @@ func TestPointCompiledZeroAllocs(t *testing.T) {
 		}
 	}); n != 0 {
 		t.Fatalf("PointCompiled allocates %v per solve, want 0", n)
+	}
+}
+
+// TestGPrimeDegenerateBasisZeroAllocs is the regression test for the
+// fmt.Errorf calls the transitive hotpath vet rule flagged inside
+// GPrimeCompiled's call tree: the no-cause failure branches now return
+// the prebuilt errProbeParallel/errDegenerateBasis, so even a failing
+// solve stays allocation-free. A model with Theta1 = 0 steers nowhere —
+// all three Jacobian probes produce the identical beam, the per-ε
+// displacement basis collapses, and iteration 1 exits through the
+// degenerate-basis branch. Before the prebuilt errors this test failed:
+// fmt.Errorf built a fresh error on every failing solve.
+func TestGPrimeDegenerateBasisZeroAllocs(t *testing.T) {
+	frozen := gma.Nominal()
+	frozen.Theta1 = 0
+	cf := frozen.Compile()
+	b0, err := cf.Beam(0, 0)
+	if err != nil {
+		t.Fatalf("frozen fixture beam failed: %v", err)
+	}
+	// tau sits on the zero-voltage beam, so the cold-start guard keeps the
+	// warm path and the solve reaches the basis solve on iteration 1.
+	tau := b0.At(1.5)
+	_, _, iters, err := GPrimeCompiled(&cf, tau, 0, 0, GPrimeOptions{})
+	if !errors.Is(err, errDegenerateBasis) {
+		t.Fatalf("frozen solve returned (iters=%d, err=%v), want errDegenerateBasis", iters, err)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		GPrimeCompiled(&cf, tau, 0, 0, GPrimeOptions{})
+	}); n != 0 {
+		t.Fatalf("failing GPrimeCompiled allocates %v per solve, want 0", n)
 	}
 }
 

@@ -69,6 +69,7 @@ func (o *GPrimeOptions) defaults() {
 // every subsequent solve.
 func (o GPrimeOptions) Validate() error {
 	if !finite(o.Tol) || o.Tol < 0 {
+		//cyclops:alloc-ok cold validation failure: formats the poisoned Tol once, then the run aborts
 		return fmt.Errorf("pointing: invalid GPrimeOptions: Tol %v (want a finite, non-negative voltage step; 0 means default)", o.Tol)
 	}
 	return nil
@@ -87,6 +88,14 @@ var ErrNonFiniteStart = errors.New("pointing: non-finite start voltages")
 // ErrNonFiniteTarget is returned when the G′ target point contains
 // NaN/Inf — the downstream symptom of a non-finite tracking report.
 var ErrNonFiniteTarget = errors.New("pointing: non-finite target point")
+
+// errProbeParallel and errDegenerateBasis are prebuilt so the solver's
+// failure branches stay allocation-free (they sit inside hot-path call
+// trees; the transitive hotpath vet rule keeps them that way).
+var (
+	errProbeParallel   = errors.New("pointing: probe beam parallel to target plane")
+	errDegenerateBasis = errors.New("pointing: degenerate steering basis")
+)
 
 // finite reports whether x is a usable number (mirrors the allFinite
 // check in optimize/lm.go, scalar form).
@@ -198,6 +207,7 @@ func gprime(model *gma.Compiled, tau geom.Vec3, v1, v2 float64, opts GPrimeOptio
 					lastStep2 /= 2
 					continue
 				}
+				//cyclops:alloc-ok cold error return: wraps the beam-eval cause only when the solve fails
 				return v1, v2, iter, beamEvals, fmt.Errorf("pointing: %w", err)
 			}
 			b0 = probes.Ray(0)
@@ -205,11 +215,13 @@ func gprime(model *gma.Compiled, tau geom.Vec3, v1, v2 float64, opts GPrimeOptio
 		haveB0 = false
 		beamEvals++
 		if err := perr[k]; err != nil {
+			//cyclops:alloc-ok cold error return: wraps the beam-eval cause only when the solve fails
 			return v1, v2, iter, beamEvals, fmt.Errorf("pointing: %w", err)
 		}
 		b1 := probes.Ray(k)
 		beamEvals++
 		if err := perr[k+1]; err != nil {
+			//cyclops:alloc-ok cold error return: wraps the beam-eval cause only when the solve fails
 			return v1, v2, iter, beamEvals, fmt.Errorf("pointing: %w", err)
 		}
 		b2 := probes.Ray(k + 1)
@@ -218,12 +230,13 @@ func gprime(model *gma.Compiled, tau geom.Vec3, v1, v2 float64, opts GPrimeOptio
 		plane := geom.NewPlane(tau, b0.Dir)
 		k0, _, err := plane.IntersectLine(b0)
 		if err != nil {
+			//cyclops:alloc-ok cold error return: wraps the intersection cause only when the solve fails
 			return v1, v2, iter, beamEvals, fmt.Errorf("pointing: beam parallel to target plane: %w", err)
 		}
 		k1, _, err1 := plane.IntersectLine(b1)
 		k2, _, err2 := plane.IntersectLine(b2)
 		if err1 != nil || err2 != nil {
-			return v1, v2, iter, beamEvals, fmt.Errorf("pointing: probe beam parallel to target plane")
+			return v1, v2, iter, beamEvals, errProbeParallel
 		}
 
 		// Per-ε displacement vectors on the plane, and the miss vector.
@@ -238,7 +251,7 @@ func gprime(model *gma.Compiled, tau geom.Vec3, v1, v2 float64, opts GPrimeOptio
 		g22 := u2.Dot(u2)
 		det := g11*g22 - g12*g12
 		if det <= 1e-30 {
-			return v1, v2, iter, beamEvals, fmt.Errorf("pointing: degenerate steering basis")
+			return v1, v2, iter, beamEvals, errDegenerateBasis
 		}
 		r1 := miss.Dot(u1)
 		r2 := miss.Dot(u2)

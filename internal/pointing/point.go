@@ -91,6 +91,7 @@ func (o *PointOptions) defaults() {
 // convergence test), and the embedded G′ options must validate too.
 func (o PointOptions) Validate() error {
 	if !finite(o.Tol) || o.Tol < 0 {
+		//cyclops:alloc-ok cold validation failure: formats the poisoned Tol once, then the run aborts
 		return fmt.Errorf("pointing: invalid PointOptions: Tol %v (want a finite, non-negative voltage step; 0 means default)", o.Tol)
 	}
 	return o.GPrime.Validate()
@@ -165,11 +166,13 @@ func point(gt, gr *gma.Compiled, start Voltages, opts PointOptions) (Result, err
 		bt, err := gt.Beam(v.TX1, v.TX2)
 		res.BeamEvals++
 		if err != nil {
+			//cyclops:alloc-ok cold error return: wraps the model cause only when the solve fails
 			return res, fmt.Errorf("pointing: TX model: %w", err)
 		}
 		br, err := gr.Beam(v.RX1, v.RX2)
 		res.BeamEvals++
 		if err != nil {
+			//cyclops:alloc-ok cold error return: wraps the model cause only when the solve fails
 			return res, fmt.Errorf("pointing: RX model: %w", err)
 		}
 
@@ -178,12 +181,14 @@ func point(gt, gr *gma.Compiled, start Voltages, opts PointOptions) (Result, err
 		res.GPrimeIterations += it
 		res.BeamEvals += et
 		if err != nil {
+			//cyclops:alloc-ok cold error return: wraps the solver cause only when the solve fails
 			return res, fmt.Errorf("pointing: G'_T: %w", err)
 		}
 		nr1, nr2, ir, er, err := gprime(gr, bt.Origin, v.RX1, v.RX2, opts.GPrime)
 		res.GPrimeIterations += ir
 		res.BeamEvals += er
 		if err != nil {
+			//cyclops:alloc-ok cold error return: wraps the solver cause only when the solve fails
 			return res, fmt.Errorf("pointing: G'_R: %w", err)
 		}
 
